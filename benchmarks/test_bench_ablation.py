@@ -1,0 +1,107 @@
+"""Ablation benchmarks for the design choices DESIGN.md §7 calls out.
+
+These go beyond the paper's own ablation (Table 6): they time/score the
+hard-vs-soft orthogonality variants, CMD order truncation, the
+partitioner family, and the privacy extensions.
+"""
+
+import numpy as np
+
+from repro.core import FedOMDConfig, FedOMDTrainer
+from repro.core.exchange import MomentExchange
+from repro.extensions import (
+    NoisyMomentExchange,
+    SecureMomentExchange,
+    bfs_balanced_partition,
+)
+from repro.federated import Communicator
+from repro.graphs import louvain_partition, random_partition
+
+CFG = dict(max_rounds=20, patience=40, hidden=32)
+
+
+def _final_acc(parts, **overrides):
+    cfg = FedOMDConfig(**CFG, **overrides)
+    return FedOMDTrainer(parts, cfg, seed=0).run().final_test_accuracy()
+
+
+def test_bench_hard_vs_soft_orthogonality(benchmark, cora_parts):
+    """Newton–Schulz projection per round vs the soft Eq. 6 penalty."""
+
+    def run_both():
+        soft = _final_acc(cora_parts, hard_orthogonal=False)
+        hard = _final_acc(cora_parts, hard_orthogonal=True)
+        return soft, hard
+
+    soft, hard = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print(f"\nsoft-penalty acc={soft:.4f}  hard-projection acc={hard:.4f}")
+    assert 0 <= soft <= 1 and 0 <= hard <= 1
+
+
+def test_bench_cmd_order_truncation(benchmark, cora_parts):
+    """Eq. 11 truncation K ∈ {2, 3, 5}: cost and accuracy of more moments."""
+
+    def run_sweep():
+        out = {}
+        for orders in [(2,), (2, 3), (2, 3, 4, 5)]:
+            out[len(orders)] = _final_acc(cora_parts, orders=orders)
+        return out
+
+    accs = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print(f"\nCMD truncation accuracy by #orders: {accs}")
+    assert set(accs) == {1, 2, 4}
+
+
+def test_bench_partitioner_family(benchmark, cora_smoke):
+    """Louvain vs BFS-balanced vs random cuts under the same trainer."""
+
+    def run_family():
+        rng = np.random.default_rng(0)
+        out = {}
+        for name, pr in [
+            ("louvain", louvain_partition(cora_smoke, 3, rng)),
+            ("bfs", bfs_balanced_partition(cora_smoke, 3, rng)),
+            ("random", random_partition(cora_smoke, 3, rng)),
+        ]:
+            out[name] = _final_acc(pr.parts)
+        return out
+
+    accs = benchmark.pedantic(run_family, rounds=1, iterations=1)
+    print(f"\npartitioner accuracy: {accs}")
+    assert set(accs) == {"louvain", "bfs", "random"}
+
+
+def test_bench_secure_aggregation_overhead(benchmark):
+    """Masked vs plain exchange: the privacy layer's compute cost."""
+    rng = np.random.default_rng(0)
+    hidden = [[rng.standard_normal((300, 64)) for _ in range(2)] for _ in range(5)]
+    counts = [300] * 5
+
+    def masked():
+        return SecureMomentExchange(Communicator(num_clients=5)).run(hidden, counts)
+
+    result = benchmark(masked)
+    plain = MomentExchange(Communicator(num_clients=5)).run(hidden, counts)
+    np.testing.assert_allclose(result.means[0], plain.means[0], atol=1e-9)
+
+
+def test_bench_dp_noise_sweep(benchmark):
+    """Accuracy-surrogate (moment error) vs noise multiplier σ."""
+    rng = np.random.default_rng(0)
+    hidden = [[rng.standard_normal((200, 32))] for _ in range(4)]
+    counts = [200] * 4
+    plain = MomentExchange(Communicator(num_clients=4), orders=(2,)).run(hidden, counts)
+
+    def sweep():
+        errs = {}
+        for sigma in [0.1, 1.0, 10.0]:
+            noisy = NoisyMomentExchange(
+                Communicator(num_clients=4), orders=(2,), sigma=sigma,
+                rng=np.random.default_rng(1),
+            ).run(hidden, counts)
+            errs[sigma] = float(np.abs(noisy.means[0] - plain.means[0]).mean())
+        return errs
+
+    errs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\nmean-statistic error by sigma: {errs}")
+    assert errs[10.0] > errs[0.1]

@@ -1,0 +1,53 @@
+"""One benchmark per figure of the paper (smoke-scale regeneration)."""
+
+from repro.experiments import get_experiment
+
+
+def _run_experiment(benchmark, name, bench_out, **kw):
+    result = benchmark.pedantic(
+        lambda: get_experiment(name)(mode="smoke", out_dir=bench_out, **kw),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows, f"{name} produced no rows"
+    print()
+    print(result.render())
+    return result
+
+
+def test_bench_fig4_noniid_labels(benchmark, bench_out):
+    res = _run_experiment(benchmark, "fig4", bench_out, datasets=["cora"], num_parties=5)
+    assert len(res.rows) == 5
+    # The figure's message: Louvain cuts are much more non-iid than random.
+    js_louvain = float(res.rows[0][3])
+    js_random = float(res.rows[0][4])
+    assert js_louvain > 2 * js_random
+
+
+def test_bench_fig5_convergence(benchmark, bench_out):
+    res = _run_experiment(
+        benchmark, "fig5", bench_out, models=["fedgcn", "fedomd", "fedmlp"]
+    )
+    assert len(res.rows) == 3
+    # Every model must have recorded a full convergence curve.
+    assert all(r[4] for r in res.rows)
+
+
+def test_bench_fig6_sensitivity(benchmark, bench_out):
+    res = _run_experiment(
+        benchmark,
+        "fig6",
+        bench_out,
+        datasets=["cora"],
+        alphas=[5e-4],
+        betas=[0.01, 1.0],
+    )
+    assert len(res.rows) == 1
+    assert len(res.rows[0]) == 4  # dataset, alpha, two beta columns
+
+
+def test_bench_fig7_resolution(benchmark, bench_out):
+    res = _run_experiment(
+        benchmark, "fig7", bench_out, datasets=["cora"], resolutions=[1.0, 20.0]
+    )
+    assert len(res.rows) == 1

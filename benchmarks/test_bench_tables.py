@@ -1,0 +1,64 @@
+"""One benchmark per table of the paper (smoke-scale regeneration).
+
+Each bench executes the exact experiment module the quick/full modes
+use — ``pedantic`` single-pass timing, because an experiment is a
+macro-benchmark, not a microsecond kernel.
+"""
+
+from repro.experiments import get_experiment
+
+
+def _run_experiment(benchmark, name, bench_out, **kw):
+    result = benchmark.pedantic(
+        lambda: get_experiment(name)(mode="smoke", out_dir=bench_out, **kw),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows, f"{name} produced no rows"
+    print()
+    print(result.render())
+    return result
+
+
+def test_bench_table2_dataset_stats(benchmark, bench_out):
+    res = _run_experiment(benchmark, "table2", bench_out)
+    assert len(res.rows) == 5  # five datasets
+
+
+def test_bench_table3_cost_accounting(benchmark, bench_out):
+    res = _run_experiment(benchmark, "table3", bench_out)
+    rows = {r[0]: r for r in res.rows}
+    # Shape claims of Table 3: LocGCN moves no bytes; FedOMD's uplink
+    # exceeds FedGCN's only by the (small) statistics payload.
+    assert int(rows["locgcn"][4]) == 0
+    assert int(rows["fedgcn"][4]) < int(rows["fedomd"][4]) < 2 * int(rows["fedgcn"][4])
+
+
+def test_bench_table4_main_results_slice(benchmark, bench_out):
+    # Smoke slice: one dataset, two party counts, all eight models.
+    res = _run_experiment(
+        benchmark, "table4", bench_out, datasets=["cora"], parties=[3, 5]
+    )
+    assert len(res.rows) == 8
+
+
+def test_bench_table5_many_parties(benchmark, bench_out):
+    res = _run_experiment(
+        benchmark, "table5", bench_out, parties=[20], models=["fedgcn", "fedomd"]
+    )
+    assert len(res.rows) == 2
+
+
+def test_bench_table6_ablation(benchmark, bench_out):
+    res = _run_experiment(
+        benchmark, "table6", bench_out, datasets=["cora"], parties=[3]
+    )
+    assert len(res.rows) == 3  # ortho-only / cmd-only / both
+
+
+def test_bench_table7_depth(benchmark, bench_out):
+    res = _run_experiment(
+        benchmark, "table7", bench_out, datasets=["computer"], parties=[3], depths=[2, 6]
+    )
+    # 2 depths + the FedGCN reference row.
+    assert len(res.rows) == 3

@@ -1,0 +1,57 @@
+"""Bring-your-own-graph + mechanism ablation.
+
+Shows (a) how to wrap an arbitrary networkx graph in the library's
+:class:`Graph` container, and (b) how to toggle FedOMD's two mechanisms
+(orthogonalization, CMD) — the Table 6 ablation — on your own data.
+
+Run:  python examples/custom_graph_ablation.py   (~1 minute)
+"""
+
+import networkx as nx
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core import FedOMDConfig, FedOMDTrainer
+from repro.graphs import Graph, louvain_partition, semi_supervised_split
+from repro.reporting import ascii_table
+
+RNG = np.random.default_rng(3)
+
+# --- 1. any networkx graph works: here, a relaxed caveman community graph.
+nxg = nx.relaxed_caveman_graph(24, 25, p=0.08, seed=11)
+adj = sp.csr_matrix(nx.to_scipy_sparse_array(nxg, format="csr").astype(float))
+adj.setdiag(0)
+adj.eliminate_zeros()
+
+# Labels: clique id mod 6 (six classes); features: noisy one-hot blocks.
+labels = np.array([i // 25 % 6 for i in range(adj.shape[0])])
+x = RNG.random((adj.shape[0], 60)) * 0.2
+for c in range(6):
+    x[labels == c, c * 10 : (c + 1) * 10] += 0.7
+
+graph = Graph(x=x, adj=adj, y=labels, num_classes=6, name="caveman")
+semi_supervised_split(graph, RNG, train_ratio=0.02, val_ratio=0.2, test_ratio=0.2)
+graph.validate()
+print(graph.summary())
+
+parts = louvain_partition(graph, 4, RNG).parts
+
+# --- 2. Table 6-style ablation on this custom federation.
+rows = []
+for label, use_ortho, use_cmd in [
+    ("ortho only", True, False),
+    ("CMD only", False, True),
+    ("ortho + CMD", True, True),
+    ("neither", False, False),
+]:
+    cfg = FedOMDConfig(
+        max_rounds=120,
+        patience=120,
+        hidden=32,
+        use_ortho=use_ortho,
+        use_cmd=use_cmd,
+    )
+    hist = FedOMDTrainer(parts, cfg, seed=0).run()
+    rows.append([label, f"{100 * hist.final_test_accuracy():.2f}%"])
+
+print(ascii_table(["Variant", "Accuracy"], rows, title="Mechanism ablation (custom graph)"))

@@ -1,0 +1,69 @@
+"""Epidemic case classification across hospitals — the paper's motivating
+scenario (§1: "the features of coronavirus appear the non-i.i.d
+phenomenon in different regions").
+
+We build the scenario from raw pieces of the public API (no dataset
+loader): three regional hospital systems each hold a patient-contact
+subgraph; the task is classifying each patient's presentation into one
+of four syndrome types.  Crucially, the *same* syndrome presents with
+regionally-shifted features (different dominant symptoms per region) —
+exactly the feature non-i.i.d.-ness FedOMD's CMD constraint targets.
+
+Run:  python examples/epidemic_prediction.py   (~1-2 minutes)
+"""
+
+import numpy as np
+
+from repro.core import FedOMDConfig, FedOMDTrainer
+from repro.federated import FederatedTrainer, TrainerConfig
+from repro.graphs import Graph, dc_sbm, semi_supervised_split
+from repro.graphs.metrics_noniid import feature_mean_distance
+
+RNG = np.random.default_rng(7)
+NUM_SYNDROMES = 4
+NUM_SYMPTOMS = 128  # feature dimensionality: symptom/lab indicators
+PATIENTS_PER_REGION = 400
+
+
+def make_region(region_id: int) -> Graph:
+    """One hospital system's private patient-contact graph.
+
+    Contact edges are homophilous in syndrome (outbreak clusters), and
+    the symptom profile of each syndrome is shifted per region: region r
+    expresses syndrome s through symptom block (s + r) mod NUM_SYNDROMES
+    more strongly — the regional variance branches of the intro.
+    """
+    sizes = RNG.multinomial(PATIENTS_PER_REGION, np.full(NUM_SYNDROMES, 1 / NUM_SYNDROMES))
+    sizes = np.maximum(sizes, 10)
+    adj, syndrome = dc_sbm(sizes, p_in=0.06, p_out=0.004, rng=RNG)
+
+    block = NUM_SYMPTOMS // (2 * NUM_SYNDROMES)
+    x = RNG.random((len(syndrome), NUM_SYMPTOMS)) * 0.1  # baseline noise
+    for s in range(NUM_SYNDROMES):
+        rows = syndrome == s
+        # Shared (region-independent) signature — what makes the task solvable.
+        shared = slice(s * block, (s + 1) * block)
+        x[rows, shared] += 0.6
+        # Region-shifted signature — what makes the parties non-i.i.d.
+        shifted_s = (s + region_id) % NUM_SYNDROMES
+        regional = slice((NUM_SYNDROMES + shifted_s) * block, (NUM_SYNDROMES + shifted_s + 1) * block)
+        x[rows, regional] += 0.8
+    g = Graph(x=x, adj=adj, y=syndrome, num_classes=NUM_SYNDROMES, name=f"region{region_id}")
+    # Each hospital labels 5% of its cases (expert diagnosis is scarce).
+    return semi_supervised_split(g, RNG, train_ratio=0.05, val_ratio=0.2, test_ratio=0.2)
+
+
+regions = [make_region(r) for r in range(3)]
+print("regional feature-mean distance (input non-iid):",
+      f"{feature_mean_distance(regions):.3f}")
+
+common = dict(max_rounds=150, patience=150, hidden=64)
+fedomd = FedOMDTrainer(regions, FedOMDConfig(**common), seed=0)
+acc_omd = fedomd.run().final_test_accuracy()
+
+fedgcn = FederatedTrainer(regions, TrainerConfig(**common), seed=0)
+acc_gcn = fedgcn.run().final_test_accuracy()
+
+print(f"\nsyndrome classification accuracy (weighted across regions)")
+print(f"  FedGCN (plain FedAvg)      : {100 * acc_gcn:.2f}%")
+print(f"  FedOMD (moment constraints): {100 * acc_omd:.2f}%")

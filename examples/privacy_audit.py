@@ -1,0 +1,65 @@
+"""Privacy audit of FedOMD's statistic exchange (no training; runs in
+seconds).
+
+Demonstrates the two privacy extensions on Algorithm 1's 2-round
+protocol:
+
+1. **Secure aggregation** — pairwise masks make each party's upload
+   look like noise while the server's weighted sums stay *exact*.
+2. **Differential privacy** — Gaussian noise on the statistics, with
+   the (ε, δ) accounting and the resulting error in the global moments.
+
+Run:  python examples/privacy_audit.py
+"""
+
+import numpy as np
+
+from repro.core.exchange import MomentExchange, pooled_central_moments
+from repro.extensions import (
+    NoisyMomentExchange,
+    SecureMomentExchange,
+    gaussian_mechanism_epsilon,
+)
+from repro.federated import Communicator
+from repro.reporting import ascii_table
+
+rng = np.random.default_rng(0)
+
+# Three hospitals' hidden features (two layers, 64 dims) with shifted
+# distributions — the kind of statistics FedOMD actually uploads.
+hidden = [
+    [rng.standard_normal((n, 64)) * 0.2 + 0.1 * i for _ in range(2)]
+    for i, n in enumerate([300, 500, 200])
+]
+counts = [h[0].shape[0] for h in hidden]
+oracle = pooled_central_moments(hidden)
+
+# --- 1. plain vs masked exchange: identical results, masked uploads.
+plain = MomentExchange(Communicator(num_clients=3)).run(hidden, counts)
+secure = SecureMomentExchange(Communicator(num_clients=3), round_seed=7).run(hidden, counts)
+mask_err = max(
+    float(np.abs(secure.means[l] - plain.means[l]).max()) for l in range(2)
+)
+print("secure aggregation:")
+print(f"  masked-vs-plain global mean error : {mask_err:.2e} (float round-off)")
+print(f"  exchange-vs-pooled-oracle error   : "
+      f"{float(np.abs(plain.means[0] - oracle.means[0]).max()):.2e} (exact reconstruction)")
+
+# What the server actually saw from client 0 (masked ≠ true statistic):
+true_stat = counts[0] * hidden[0][0].mean(axis=0)
+print(f"  true upload[0][:3]  : {np.round(true_stat[:3], 3)}")
+print("  (masked uploads differ from this by O(1) noise — see tests)")
+
+# --- 2. DP noise sweep: privacy vs statistic fidelity.
+rows = []
+for sigma in [0.1, 0.5, 1.0, 5.0]:
+    noisy = NoisyMomentExchange(
+        Communicator(num_clients=3), sigma=sigma, rng=np.random.default_rng(1)
+    ).run(hidden, counts)
+    err = float(np.abs(noisy.means[0] - plain.means[0]).mean())
+    rows.append([sigma, f"{gaussian_mechanism_epsilon(sigma):.2f}", f"{err:.2e}"])
+print()
+print(ascii_table(["sigma", "epsilon (δ=1e-5)", "mean-statistic error"], rows,
+                  title="differential privacy on the moment uploads"))
+print("\nsensitivity scales as 1/party-size: larger hospitals get the "
+      "same ε with less damage to the global moments.")

@@ -1,0 +1,51 @@
+"""Quickstart: federated node classification with FedOMD in ~40 lines.
+
+Loads the Cora twin, cuts it into 3 Louvain parties (non-i.i.d. by
+construction), trains FedOMD and the FedGCN baseline on identical
+partitions, and prints the comparison.
+
+Run:  python examples/quickstart.py        (~1 minute on a laptop CPU)
+"""
+
+import numpy as np
+
+from repro.core import FedOMDConfig, FedOMDTrainer
+from repro.federated import FederatedTrainer, TrainerConfig
+from repro.graphs import label_divergence, load_dataset, louvain_partition
+
+# 1. Data: a statistical twin of Cora (2708 nodes at scale=1.0; we use
+#    a quarter-scale twin so the example finishes in about a minute).
+graph = load_dataset("cora", seed=0, scale=0.25)
+print(graph.summary())
+
+# 2. Federation: Louvain-cut into 3 parties, as the paper does (§5.1).
+parts = louvain_partition(graph, num_parties=3, rng=np.random.default_rng(0)).parts
+print(f"parties: {[p.num_nodes for p in parts]} nodes, "
+      f"label divergence (JS) = {label_divergence(parts):.3f}")
+
+# 3. FedOMD: orthogonal GCNs + the 2-round central-moment exchange.
+fedomd = FedOMDTrainer(
+    parts,
+    FedOMDConfig(max_rounds=150, patience=150, hidden=64),
+    seed=0,
+)
+fedomd_history = fedomd.run()
+
+# 4. Baseline on the same partition: plain FedAvg over GCNs.
+fedgcn = FederatedTrainer(
+    parts,
+    TrainerConfig(max_rounds=150, patience=150, hidden=64),
+    seed=0,
+)
+fedgcn_history = fedgcn.run()
+
+# 5. Results (test accuracy at the best-validation round).
+print(f"\nFedOMD : {100 * fedomd_history.final_test_accuracy():.2f}%")
+print(f"FedGCN : {100 * fedgcn_history.final_test_accuracy():.2f}%")
+
+# 6. The communication story (§4.4): the moment exchange is nearly free.
+traffic = fedomd.statistics_bytes_last_round()
+print(
+    f"\nper-round traffic — model weights: {traffic['model_bytes_per_round']:,} B, "
+    f"CMD statistics: {traffic['statistics_bytes_per_round_approx']:,} B"
+)

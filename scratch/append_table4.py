@@ -1,0 +1,21 @@
+"""Append late-arriving table4 dataset blocks to EXPERIMENTS.md."""
+import os, sys
+from repro.reporting import read_csv
+
+note = "(quick mode, 1 seed; missing dataset blocks, if any, regenerate with"
+s = open("EXPERIMENTS.md").read()
+for ds in sys.argv[1:]:
+    path = f"results/quick/table4_{ds}.csv"
+    if not os.path.exists(path):
+        print("missing", path); continue
+    if f"| {ds} |" in s:
+        print("already present", ds); continue
+    cols = read_csv(path)
+    headers = list(cols)
+    rows = "\n".join(
+        "| " + " | ".join(cols[h][i] for h in headers) + " |"
+        for i in range(len(cols[headers[0]]))
+    )
+    s = s.replace("\n\n" + note, "\n" + rows + "\n\n" + note)
+    print("appended", ds)
+open("EXPERIMENTS.md","w").write(s)

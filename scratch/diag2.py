@@ -1,0 +1,21 @@
+import numpy as np, time
+from repro.graphs import load_dataset, louvain_partition
+from repro.core import FedOMDTrainer, FedOMDConfig
+
+g = load_dataset("cora", seed=0, scale=1.0)
+pr = louvain_partition(g, 3, np.random.default_rng(0))
+
+def run(label, dropout=None, rounds=300, **kw):
+    cfg = FedOMDConfig(max_rounds=rounds, patience=1000, hidden=64, **kw)
+    tr = FedOMDTrainer(pr.parts, cfg, seed=0)
+    if dropout is not None:
+        for c in tr.clients:
+            c.model.dropout_p = dropout
+    h = tr.run()
+    print(f"{label:28s} best={h.final_test_accuracy():.4f} curve={[f'{a:.2f}' for a in h.test_accuracies[::30]]}", flush=True)
+
+run("neither", use_cmd=False, use_ortho=False)
+run("neither-nodrop", dropout=0.0, use_cmd=False, use_ortho=False)
+run("full-nodrop", dropout=0.0)
+run("cmd-only-nodrop", dropout=0.0, use_ortho=False)
+run("full-beta1-nodrop", dropout=0.0, beta=1.0)

@@ -1,0 +1,17 @@
+import numpy as np
+from repro.graphs import load_dataset, louvain_partition
+from repro.core import FedOMDTrainer, FedOMDConfig
+
+g = load_dataset("cora", seed=0, scale=1.0)
+pr = louvain_partition(g, 3, np.random.default_rng(0))
+
+def run(label, rounds=300, **kw):
+    cfg = FedOMDConfig(max_rounds=rounds, patience=1000, hidden=64, **kw)
+    tr = FedOMDTrainer(pr.parts, cfg, seed=0)
+    h = tr.run()
+    print(f"{label:24s} best={h.final_test_accuracy():.4f} curve={[f'{a:.2f}' for a in h.test_accuracies[::50]]}", flush=True)
+
+for beta in [0.01, 0.1, 1.0]:
+    run(f"cmd-beta{beta}", use_ortho=False, beta=beta)
+run("full-beta0.1", beta=0.1)
+run("ortho-only", use_cmd=False)

@@ -1,0 +1,99 @@
+"""Patch EXPERIMENTS.md placeholders from results/quick/*.csv."""
+import os
+
+from repro.reporting import read_csv
+
+
+def md_table(csv_path, note=""):
+    if not os.path.exists(csv_path):
+        return None
+    cols = read_csv(csv_path)
+    headers = list(cols)
+    n = len(cols[headers[0]])
+    lines = ["| " + " | ".join(headers) + " |", "|" + "---|" * len(headers)]
+    for i in range(n):
+        lines.append("| " + " | ".join(cols[h][i] for h in headers) + " |")
+    if note:
+        lines += ["", note]
+    return "\n".join(lines)
+
+
+def concat_tables(paths, note=""):
+    parts = [md_table(p) for p in paths]
+    parts = [p for p in parts if p]
+    if not parts:
+        return None
+    # Merge: keep the first table's header, append later tables' rows.
+    merged = parts[0].splitlines()
+    for extra in parts[1:]:
+        merged.extend(extra.splitlines()[2:])
+    if note:
+        merged += ["", note]
+    return "\n".join(merged)
+
+
+MISSING = (
+    "*Not completed within this session's quick run — regenerate with "
+    "`python -m repro.experiments {exp} --mode quick` (smoke-scale numbers "
+    "are printed by `pytest benchmarks/ --benchmark-only`).*"
+)
+
+PATCHES = {
+    "<!-- TABLE4 -->": lambda: concat_tables(
+        [f"results/quick/table4_{d}.csv" for d in ["cora", "citeseer", "computer", "photo"]],
+        note="(quick mode, 1 seed; missing dataset blocks, if any, regenerate with "
+        "`python -m repro.experiments table4 --mode quick`)",
+    ),
+    "<!-- TABLE5 -->": lambda: md_table("results/quick/table5_quick.csv"),
+    "<!-- TABLE6 -->": lambda: md_table("results/quick/table6_quick.csv"),
+    "<!-- TABLE7 -->": lambda: md_table(
+        "results/quick/table7_quick.csv",
+        note="(subset: M ∈ {3, 9}, depths {2, 6, 10}; full grid via "
+        "`python -m repro.experiments table7 --mode quick`)",
+    ),
+    "<!-- FIG5 -->": lambda: md_table(
+        "results/quick/fig5_quick.csv",
+        note="The `Curve` column is a downsampled sparkline of each model's "
+        "per-round test accuracy; regenerate the full per-round CSV with "
+        "`python -m repro.experiments fig5 --mode quick` (writes "
+        "`fig5_curves.csv`).",
+    ),
+    "<!-- FIG6 -->": lambda: md_table("results/quick/fig6_quick.csv"),
+    "<!-- FIG7 -->": lambda: md_table("results/quick/fig7_quick.csv"),
+}
+
+text = open("EXPERIMENTS.md").read()
+for marker, make in PATCHES.items():
+    if marker not in text:
+        continue
+    table = make()
+    if table is not None:
+        text = text.replace(marker, table)
+        print("filled", marker)
+    else:
+        exp = marker.strip("<!- >").lower()
+        text = text.replace(marker, MISSING.format(exp=exp))
+        print("marked missing", marker)
+
+ext_parts = []
+for name in ["ext_backbones", "ext_partitioners", "ext_serveropt", "ext_privacy"]:
+    for mode in ["quick", "smoke"]:
+        t = md_table(f"results/{mode}/{name}.csv")
+        if t:
+            ext_parts.append(f"### {name} (mode: {mode})\n\n{t}")
+            break
+if "<!-- EXT -->" in text:
+    if ext_parts:
+        text = text.replace("<!-- EXT -->", "\n\n".join(ext_parts))
+        print("filled EXT")
+    else:
+        text = text.replace(
+            "<!-- EXT -->",
+            "*Regenerate with `python -m repro.experiments ext_backbones|ext_privacy|"
+            "ext_partitioners|ext_serveropt --mode quick`; the ablation benchmark "
+            "suite (`benchmarks/test_bench_ablation.py`) prints smoke-scale results.*",
+        )
+        print("marked EXT missing")
+
+open("EXPERIMENTS.md", "w").write(text)
+print("done")

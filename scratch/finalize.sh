@@ -1,0 +1,9 @@
+#!/bin/bash
+# Final delivery sequence: stop the suite, fill EXPERIMENTS.md, tee runs.
+set -x
+ps aux | grep run_quick_suite3 | grep -v grep | awk '{print $2}' | xargs -r kill
+sleep 2
+cd /root/repo
+python3 scratch/fill_experiments.py
+pytest tests/ 2>&1 | tee /root/repo/test_output.txt | tail -3
+pytest benchmarks/ --benchmark-only 2>&1 | tee /root/repo/bench_output.txt | tail -5

@@ -1,0 +1,21 @@
+import numpy as np, time
+from repro.graphs import load_dataset, louvain_partition
+from repro.core import FedOMDTrainer, FedOMDConfig
+from repro.federated import FederatedTrainer, TrainerConfig
+
+g = load_dataset("cora", seed=0, scale=1.0)
+pr = louvain_partition(g, 3, np.random.default_rng(0))
+print("train counts:", [int(p.train_mask.sum()) for p in pr.parts], flush=True)
+
+t0=time.time()
+tr2 = FederatedTrainer(pr.parts, TrainerConfig(max_rounds=600, patience=200, hidden=64), seed=0)
+h2 = tr2.run()
+print(f"fedgcn rounds={len(h2)} best={h2.final_test_accuracy():.4f} {time.time()-t0:.0f}s", flush=True)
+
+t0=time.time()
+cfg = FedOMDConfig(max_rounds=600, patience=200, hidden=64)
+tr = FedOMDTrainer(pr.parts, cfg, seed=0)
+h = tr.run()
+print(f"fedomd rounds={len(h)} best={h.final_test_accuracy():.4f} {time.time()-t0:.0f}s", flush=True)
+print("fedomd curve:", [f"{a:.3f}" for a in h.test_accuracies[::50]], flush=True)
+print("fedgcn curve:", [f"{a:.3f}" for a in h2.test_accuracies[::50]], flush=True)

@@ -1,0 +1,12 @@
+import numpy as np
+from repro.graphs import load_dataset, louvain_partition
+from repro.core import FedOMDTrainer, FedOMDConfig
+from repro.federated import FederatedTrainer, TrainerConfig
+
+for scale in [0.25]:
+    g = load_dataset("cora", seed=0, scale=scale)
+    pr = louvain_partition(g, 3, np.random.default_rng(0))
+    for lr in [0.01, 0.03, 0.05]:
+        o = FedOMDTrainer(pr.parts, FedOMDConfig(max_rounds=150, patience=150, hidden=64, lr=lr), seed=0).run()
+        f = FederatedTrainer(pr.parts, TrainerConfig(max_rounds=150, patience=150, hidden=64, lr=lr), seed=0).run()
+        print(f"scale={scale} lr={lr}: fedomd={o.final_test_accuracy():.3f} fedgcn={f.final_test_accuracy():.3f}", flush=True)

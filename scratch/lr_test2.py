@@ -1,0 +1,11 @@
+import numpy as np
+from repro.graphs import load_dataset, louvain_partition
+from repro.core import FedOMDTrainer, FedOMDConfig
+from repro.federated import FederatedTrainer, TrainerConfig
+
+g = load_dataset("cora", seed=0, scale=0.25)
+pr = louvain_partition(g, 3, np.random.default_rng(0))
+for lr, rounds in [(0.02, 150), (0.02, 300), (0.01, 400)]:
+    o = FedOMDTrainer(pr.parts, FedOMDConfig(max_rounds=rounds, patience=200, hidden=64, lr=lr), seed=0).run()
+    f = FederatedTrainer(pr.parts, TrainerConfig(max_rounds=rounds, patience=200, hidden=64, lr=lr), seed=0).run()
+    print(f"lr={lr} rounds={rounds}: fedomd={o.final_test_accuracy():.3f}({len(o)}) fedgcn={f.final_test_accuracy():.3f}({len(f)})", flush=True)

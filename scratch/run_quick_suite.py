@@ -1,0 +1,27 @@
+"""Quick-mode experiment suite for EXPERIMENTS.md, priority-ordered, 1 seed."""
+import time, traceback
+from repro.experiments import get_experiment
+
+OUT = "results/quick"
+JOBS = [
+    ("table4", dict(seeds=[0])),
+    ("table6", dict(seeds=[0])),
+    ("fig5", dict()),
+    ("fig7", dict(seeds=[0])),
+    ("fig6", dict(seeds=[0])),
+    ("table7", dict(seeds=[0], parties=[3, 9])),
+    ("table5", dict(seeds=[0])),
+    ("ext_backbones", dict()),
+    ("ext_partitioners", dict()),
+    ("ext_serveropt", dict()),
+    ("ext_privacy", dict()),
+]
+for name, kw in JOBS:
+    t0 = time.time()
+    try:
+        res = get_experiment(name)(mode="quick", out_dir=OUT, **kw)
+        print(res.render(), flush=True)
+        print(f"[{name}] done in {time.time()-t0:.0f}s\n", flush=True)
+    except Exception:
+        traceback.print_exc()
+        print(f"[{name}] FAILED after {time.time()-t0:.0f}s\n", flush=True)

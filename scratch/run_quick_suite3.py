@@ -1,0 +1,34 @@
+"""Fine-grained quick-suite: each job saves its own CSV on completion."""
+import time, traceback
+from repro.experiments import get_experiment
+from repro.experiments.runner import MODE_PARAMS, ModeParams
+
+# Slightly lighter than stock quick so jobs land within the session.
+MODE_PARAMS["quick"] = ModeParams(scale=0.25, max_rounds=150, patience=150, seeds=1, hidden=64)
+
+OUT = "results/quick"
+JOBS = [
+    ("table4_cora", "table4", dict(seeds=[0], datasets=["cora"])),
+    ("table6_quick", "table6", dict(seeds=[0])),
+    ("fig5_quick", "fig5", dict()),
+    ("table4_citeseer", "table4", dict(seeds=[0], datasets=["citeseer"])),
+    ("fig7_quick", "fig7", dict(seeds=[0])),
+    ("table4_computer", "table4", dict(seeds=[0], datasets=["computer"])),
+    ("table4_photo", "table4", dict(seeds=[0], datasets=["photo"])),
+    ("table7_quick", "table7", dict(seeds=[0], parties=[3, 9], depths=[2, 6, 10])),
+    ("fig6_quick", "fig6", dict(seeds=[0])),
+    ("table5_quick", "table5", dict(seeds=[0])),
+    ("ext_backbones", "ext_backbones", dict()),
+    ("ext_partitioners", "ext_partitioners", dict()),
+]
+for label, name, kw in JOBS:
+    t0 = time.time()
+    try:
+        res = get_experiment(name)(mode="quick", out_dir=None, **kw)
+        res.name = label
+        res.save(OUT)
+        print(res.render(), flush=True)
+        print(f"[{label}] done in {time.time()-t0:.0f}s\n", flush=True)
+    except Exception:
+        traceback.print_exc()
+        print(f"[{label}] FAILED after {time.time()-t0:.0f}s\n", flush=True)

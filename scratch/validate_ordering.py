@@ -1,0 +1,10 @@
+import numpy as np
+from repro.graphs import load_dataset, louvain_partition
+from repro.experiments.runner import run_cell, ModeParams
+
+params = ModeParams(scale=1.0, max_rounds=400, patience=200, seeds=2)
+cache = {}
+for m in [3, 5]:
+    for model in ["fedgcn", "locgcn", "fedomd"]:
+        mean, std, t = run_cell(model, "cora", m, params, seeds=[0, 1], partition_cache=cache)
+        print(f"cora M={m} {model:8s} {mean:.4f} ±{std:.4f}  ({t:.0f}s)", flush=True)

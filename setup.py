@@ -1,0 +1,6 @@
+"""Legacy setup shim: offline environments without the `wheel` package
+cannot run PEP 517 editable builds; `pip install -e . --no-build-isolation
+--no-use-pep517` (or `python setup.py develop`) uses this instead."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""FedOMD reproduction: Graph Federated Learning with Center Moment Constraints.
+
+Reproduces Tang et al., *Graph Federated Learning with Center Moment
+Constraints for Node Classification*, ICPP Workshops 2024, on a pure
+NumPy/SciPy substrate.
+
+Public API layers (bottom-up):
+
+* :mod:`repro.autograd` - reverse-mode AD engine.
+* :mod:`repro.nn`       - modules, losses, optimizers.
+* :mod:`repro.graphs`   - graph containers, synthetic datasets, Louvain cuts.
+* :mod:`repro.gnn`      - GCNConv / OrthoConv layers and models.
+* :mod:`repro.federated`- simulated FL runtime (communicator, FedAvg, loop).
+* :mod:`repro.core`     - the paper's contribution: CMD exchange + FedOMD.
+* :mod:`repro.baselines`- FedMLP/FedProx/SCAFFOLD/LocGCN/FedGCN/FedLIT/FedSage+.
+* :mod:`repro.experiments` - regenerate every table and figure.
+"""
+
+__version__ = "1.0.0"

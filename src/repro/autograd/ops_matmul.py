@@ -1,0 +1,81 @@
+"""Matrix products: dense ``matmul``, sparse-constant ``spmm``, transpose.
+
+``spmm`` is the hot path of every GCN forward/backward: the normalized
+adjacency is a fixed ``scipy.sparse`` matrix, so only the dense operand
+needs a gradient, and the VJP is a single transposed sparse product
+(``S.T @ grad``) — O(nnz·d), never densified.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd.tensor import Tensor, as_tensor
+
+
+def matmul(a, b) -> Tensor:
+    """Dense 2-D matrix product ``a @ b``.
+
+    Gradients: ``dA = G @ Bᵀ`` and ``dB = Aᵀ @ G`` — the standard matrix
+    calculus identities.
+    """
+    a, b = as_tensor(a), as_tensor(b)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError(f"matmul expects 2-D operands, got {a.shape} @ {b.shape}")
+    out_data = a.data @ b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad @ b.data.T)
+        if b.requires_grad:
+            b._accumulate(a.data.T @ grad)
+
+    return Tensor._make(out_data, (a, b), backward, "matmul")
+
+
+def spmm(s: sp.spmatrix, x) -> Tensor:
+    """Sparse-constant × dense product ``S @ X``.
+
+    ``S`` is treated as a constant (the graph's normalized adjacency);
+    the gradient w.r.t. ``X`` is ``Sᵀ @ G``.  ``S`` is converted to CSR
+    once by the caller (see :mod:`repro.graphs.laplacian`) so the products
+    here are the fast CSR kernels.
+    """
+    x = as_tensor(x)
+    if not sp.issparse(s):
+        raise TypeError("spmm first operand must be a scipy.sparse matrix")
+    out_data = s @ x.data
+    # Cache the transpose in CSR: backward runs once per training step and
+    # building it per-call would double sparse conversion cost.
+    st = None
+
+    def backward(grad: np.ndarray) -> None:
+        nonlocal st
+        if x.requires_grad:
+            if st is None:
+                st = s.T.tocsr()
+            x._accumulate(st @ grad)
+
+    return Tensor._make(out_data, (x,), backward, "spmm")
+
+
+def transpose(a) -> Tensor:
+    """2-D transpose; gradient is the transpose of the incoming gradient."""
+    a = as_tensor(a)
+    if a.ndim != 2:
+        raise ValueError(f"transpose expects a 2-D tensor, got shape {a.shape}")
+    out_data = a.data.T
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad.T)
+
+    return Tensor._make(out_data, (a,), backward, "transpose")
+
+
+Tensor.__matmul__ = lambda self, other: matmul(self, other)
+Tensor.__rmatmul__ = lambda self, other: (
+    spmm(other, self) if sp.issparse(other) else matmul(other, self)
+)
+Tensor.matmul = matmul

@@ -1,0 +1,47 @@
+"""The seven comparison systems of Table 4 (§5.1 Baselines).
+
+* :class:`FedMLPTrainer`   — FedAvg over 2-layer MLPs (hidden 64).
+* :class:`FedProxTrainer`  — FedMLP + proximal term μ/2‖W − W_global‖².
+* :class:`ScaffoldTrainer` — FedMLP + SCAFFOLD control variates.
+* :class:`LocGCNTrainer`   — local-only 2-layer GCNs, accuracy averaged.
+* :class:`FedGCNTrainer`   — FedAvg over 2-layer GCNs.
+* :class:`FedLITTrainer`   — latent link-type clustering (Xie et al. 2023),
+  reimplemented: k-means over edge embeddings → per-type propagation.
+* :class:`FedSagePlusTrainer` — FedSage+ (Zhang et al. 2021),
+  reimplemented: NeighGen missing-neighbor generator trained by edge
+  hiding, augmented-graph GraphSAGE classifier, FedAvg.
+
+All plug into :class:`repro.federated.FederatedTrainer`'s hook API, so
+every system shares the identical round loop, evaluation protocol,
+early stopping and communication metering — differences in Table 4 come
+only from the algorithms themselves.
+"""
+
+from repro.baselines.fedmlp import FedMLPTrainer
+from repro.baselines.fedprox import FedProxTrainer
+from repro.baselines.scaffold import ScaffoldTrainer
+from repro.baselines.locgcn import LocGCNTrainer
+from repro.baselines.fedgcn import FedGCNTrainer
+from repro.baselines.fedlit import FedLITTrainer
+from repro.baselines.fedsage import FedSagePlusTrainer
+
+ALL_BASELINES = {
+    "fedmlp": FedMLPTrainer,
+    "fedprox": FedProxTrainer,
+    "scaffold": ScaffoldTrainer,
+    "locgcn": LocGCNTrainer,
+    "fedgcn": FedGCNTrainer,
+    "fedlit": FedLITTrainer,
+    "fedsage+": FedSagePlusTrainer,
+}
+
+__all__ = [
+    "FedMLPTrainer",
+    "FedProxTrainer",
+    "ScaffoldTrainer",
+    "LocGCNTrainer",
+    "FedGCNTrainer",
+    "FedLITTrainer",
+    "FedSagePlusTrainer",
+    "ALL_BASELINES",
+]

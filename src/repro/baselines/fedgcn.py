@@ -1,0 +1,19 @@
+"""FedGCN: FedAvg over 2-layer GCNs — LocGCN + federated parameters (§5.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.federated.trainer import FederatedTrainer
+from repro.gnn import GCN
+from repro.graphs.data import Graph
+from repro.nn.module import Module
+
+
+class FedGCNTrainer(FederatedTrainer):
+    """The canonical graph-FL baseline FedOMD is measured against."""
+
+    name = "fedgcn"
+
+    def build_model(self, graph: Graph, rng: np.random.Generator) -> Module:
+        return GCN(graph.num_features, graph.num_classes, hidden=self.config.hidden, rng=rng)

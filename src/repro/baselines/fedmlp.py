@@ -1,0 +1,23 @@
+"""FedMLP: FedAvg over graph-blind 2-layer perceptrons (§5.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.federated.trainer import FederatedTrainer
+from repro.gnn import MLP
+from repro.graphs.data import Graph
+from repro.nn.module import Module
+
+
+class FedMLPTrainer(FederatedTrainer):
+    """The weakest baseline: ignores graph structure entirely.
+
+    Its gap to LocGCN/FedGCN in Table 4 quantifies how much signal lives
+    in the topology rather than the raw features.
+    """
+
+    name = "fedmlp"
+
+    def build_model(self, graph: Graph, rng: np.random.Generator) -> Module:
+        return MLP(graph.num_features, graph.num_classes, hidden=self.config.hidden, rng=rng)

@@ -1,0 +1,168 @@
+"""The FedOMD trainer — Eq. 12 + Algorithm 1 end to end.
+
+Per communication round:
+
+1. Each client runs a forward pass, detaches its hidden activations and
+   hands them to the :class:`MomentExchange` (2 statistic rounds).
+2. Each client takes its local optimization step on
+
+       L_i = CE(Z_i^L, Y_i) + α·L_ortho_i + β·Σ_l d_CMD(Z_i^l, IID_l)
+
+   where the CMD targets are the just-received global moments
+   (constants within the step).
+3. FedAvg aggregates and redistributes the model weights.
+
+Ablation flags reproduce Table 6: ``use_ortho``/``use_cmd`` toggle the
+α- and β-terms.  ``hard_orthogonal`` additionally Newton–Schulz-projects
+hidden weights after each step (DESIGN.md §7 extension ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad
+from repro.core.cmd import layerwise_cmd
+from repro.core.exchange import GlobalMoments, MomentExchange
+from repro.core.moments import empirical_activation_range
+from repro.federated.client import Client
+from repro.federated.trainer import FederatedTrainer, TrainerConfig
+from repro.graphs.data import Graph
+from repro.nn import orthogonality_loss
+from repro.nn.module import Module
+from repro.gnn import OrthoGCN
+
+
+@dataclass
+class FedOMDConfig(TrainerConfig):
+    """FedOMD hyper-parameters on top of the shared trainer config.
+
+    α = 0.0005 and the moment orders 2–5 and two hidden layers follow
+    the paper (Eq. 12, Table 1).  β requires calibration: the paper
+    fixes β = 10 *in its own activation units*; Eq. 11's value scales
+    with the hidden-feature magnitude, which differs between substrates
+    (their PyTorch GCN vs our NumPy stack with L1-normalized synthetic
+    bag-of-words inputs).  We re-ran the paper's own selection protocol
+    — the Figure 6 (α, β) validation grid — on this substrate and the
+    winning β is 0.01; see EXPERIMENTS.md §calibration.  The fig6
+    experiment regenerates the full sensitivity surface.
+    """
+
+    alpha: float = 0.0005
+    beta: float = 0.01
+    num_hidden: int = 2
+    orders: tuple = (2, 3, 4, 5)
+    use_ortho: bool = True
+    use_cmd: bool = True
+    hard_orthogonal: bool = False
+    # (a, b) of Eq. 11.  The CMD literature fixes (0, 1) for bounded
+    # activations; with ReLU nets whose activations live well inside
+    # (0, 1), an *empirical* range would turn 1/(b−a)^j into a huge
+    # amplifier and let the order-5 term dominate the CE loss, so the
+    # fixed unit interval is both the faithful and the stable choice.
+    # Set to None to use the empirical activation range instead.
+    activation_range: Optional[tuple] = (0.0, 1.0)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.alpha < 0 or self.beta < 0:
+            raise ValueError("alpha and beta must be non-negative")
+        if self.num_hidden < 1:
+            raise ValueError("num_hidden must be >= 1")
+
+
+class FedOMDTrainer(FederatedTrainer):
+    """Federated orthogonal moment-discrepancy training (the paper)."""
+
+    name = "fedomd"
+
+    def __init__(
+        self,
+        parts: Sequence[Graph],
+        config: Optional[FedOMDConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        self.omd_config: FedOMDConfig = config or FedOMDConfig()
+        super().__init__(parts, self.omd_config, seed=seed)
+        self.exchange = MomentExchange(self.comm, orders=self.omd_config.orders)
+        self._global_moments: Optional[GlobalMoments] = None
+        self._range: tuple = self.omd_config.activation_range or (0.0, 1.0)
+
+    # ------------------------------------------------------------------
+    def build_model(self, graph: Graph, rng: np.random.Generator) -> Module:
+        return OrthoGCN(
+            graph.num_features,
+            graph.num_classes,
+            hidden=self.config.hidden,
+            num_hidden=self.omd_config.num_hidden,
+            rng=rng,
+        )
+
+    def begin_round(self, round_idx: int) -> None:
+        """Run the 2-round moment exchange before local training."""
+        if not self.omd_config.use_cmd:
+            return
+        client_hidden: List[List[np.ndarray]] = []
+        counts: List[int] = []
+        for c in self.clients:
+            c.model.eval()
+            with no_grad():
+                _, hidden = c.model.forward_with_hidden(c.graph)
+            client_hidden.append([h.data for h in hidden])
+            counts.append(c.num_nodes)
+        if self.omd_config.activation_range is None:
+            flat = [z for hs in client_hidden for z in hs]
+            self._range = empirical_activation_range(flat)
+        self._global_moments = self.exchange.run(client_hidden, counts)
+
+    def local_loss(self, client: Client) -> Tensor:
+        """Eq. 12: CE + α·ortho + β·CMD."""
+        cfg = self.omd_config
+        model: OrthoGCN = client.model  # type: ignore[assignment]
+        logits, hidden = model.forward_with_hidden(client.graph)
+        from repro.nn import cross_entropy
+
+        loss = cross_entropy(logits, client.graph.y, client.graph.train_mask)
+        if cfg.use_ortho and model.ortho_weights():
+            loss = loss + orthogonality_loss(model.ortho_weights()) * cfg.alpha
+        if cfg.use_cmd and self._global_moments is not None:
+            a, b = self._range
+            cmd = layerwise_cmd(
+                hidden,
+                self._global_moments.means,
+                self._global_moments.moments,
+                a=a,
+                b=b,
+                orders=cfg.orders,
+            )
+            loss = loss + cmd * cfg.beta
+        return loss
+
+    def after_local_training(self, round_idx: int) -> None:
+        if self.omd_config.hard_orthogonal:
+            for c in self.clients:
+                c.model.project_orthogonal()  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    def statistics_bytes_last_round(self) -> Dict[str, int]:
+        """Traffic split: how much of the round was statistics vs weights.
+
+        Supports the paper's claim that the CMD exchange adds negligible
+        communication (§5.2, Table 3 discussion).
+        """
+        model_bytes = sum(v.nbytes for v in self.clients[0].get_state().values())
+        m = len(self.clients)
+        per_round_weights = 2 * m * model_bytes  # gather + broadcast
+        d_h = self.config.hidden
+        l = self.omd_config.num_hidden
+        k = len(self.omd_config.orders)
+        # Round 1: M·(L·d_h + 1) up, M·L·d_h down; round 2 scales by K.
+        stats_up = m * (l * d_h + 1) * 8 + m * (l * d_h * k + 1) * 8
+        stats_down = m * l * d_h * 8 + m * l * d_h * k * 8
+        return {
+            "model_bytes_per_round": per_round_weights,
+            "statistics_bytes_per_round_approx": stats_up + stats_down,
+        }

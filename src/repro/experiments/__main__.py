@@ -1,0 +1,35 @@
+"""CLI: ``python -m repro.experiments <name|all> [--mode smoke|quick|full]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import REGISTRY, get_experiment
+from repro.experiments.runner import default_out_dir
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiment", help=f"one of {sorted(REGISTRY)} or 'all'")
+    parser.add_argument("--mode", choices=["smoke", "quick", "full"], default="quick")
+    parser.add_argument("--out", default=None, help="output directory (default results/<mode>)")
+    args = parser.parse_args(argv)
+
+    names = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]
+    out_dir = args.out or default_out_dir(args.mode)
+    for name in names:
+        fn = get_experiment(name)
+        t0 = time.time()
+        result = fn(mode=args.mode, out_dir=out_dir)
+        print(result.render())
+        print(f"[{name}] done in {time.time() - t0:.1f}s → {out_dir}/{name}.csv\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,187 @@
+"""Extension experiments (DESIGN.md §7) — beyond the paper's evaluation.
+
+* ``ext_backbones``    — FedAvg over different local backbones (GCN,
+  SAGE, APPNP, GAT, OrthoGCN) on one partition: how much of FedOMD's
+  gain is the backbone vs the constraints.
+* ``ext_privacy``      — accuracy vs DP noise multiplier σ on the
+  moment exchange, with the (ε, δ) accounting.
+* ``ext_partitioners`` — Louvain vs BFS-balanced vs random cuts for
+  the same trainer: separates the cut effect from the algorithm effect.
+* ``ext_serveropt``    — FedAvg vs FedAvgM/FedAdam/FedYogi server
+  optimizers under the FedGCN local model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core import FedOMDConfig, FedOMDTrainer
+from repro.experiments.registry import register
+from repro.experiments.runner import MODE_PARAMS, ExperimentResult
+from repro.extensions import (
+    SERVER_OPTIMIZERS,
+    NoisyMomentExchange,
+    ServerOptTrainer,
+    bfs_balanced_partition,
+    gaussian_mechanism_epsilon,
+)
+from repro.federated import FederatedTrainer, TrainerConfig
+from repro.graphs import (
+    label_divergence,
+    load_dataset,
+    louvain_partition,
+    random_partition,
+)
+
+
+def _parts(dataset, params, num_parties=3, seed=0, partitioner="louvain"):
+    g = load_dataset(dataset, seed=seed, scale=params.scale)
+    rng = np.random.default_rng(seed)
+    if partitioner == "louvain":
+        return louvain_partition(g, num_parties, rng)
+    if partitioner == "bfs":
+        return bfs_balanced_partition(g, num_parties, rng)
+    if partitioner == "random":
+        return random_partition(g, num_parties, rng)
+    raise KeyError(partitioner)
+
+
+@register("ext_backbones")
+def run_backbones(
+    mode: str = "quick",
+    out_dir: Optional[str] = None,
+    seeds: Optional[Sequence[int]] = None,
+    dataset: str = "cora",
+    num_parties: int = 3,
+) -> ExperimentResult:
+    from repro.gnn import APPNP, GAT, GCN, SAGE, OrthoGCN
+
+    params = MODE_PARAMS[mode]
+    parts = _parts(dataset, params, num_parties).parts
+    backbones = {
+        "gcn": lambda g, rng: GCN(g.num_features, g.num_classes, hidden=params.hidden, rng=rng),
+        "sage": lambda g, rng: SAGE(g.num_features, g.num_classes, hidden=params.hidden, rng=rng),
+        "appnp": lambda g, rng: APPNP(g.num_features, g.num_classes, hidden=params.hidden, rng=rng),
+        "gat": lambda g, rng: GAT(g.num_features, g.num_classes, hidden=params.hidden, rng=rng),
+        "orthogcn": lambda g, rng: OrthoGCN(
+            g.num_features, g.num_classes, hidden=params.hidden, rng=rng
+        ),
+    }
+    res = ExperimentResult(
+        name="ext_backbones",
+        headers=["Backbone", "Accuracy", "Rounds"],
+        meta={"mode": mode, "dataset": dataset, "M": str(num_parties)},
+    )
+    cfg = TrainerConfig(max_rounds=params.max_rounds, patience=params.patience, hidden=params.hidden)
+    for name, factory in backbones.items():
+
+        class _T(FederatedTrainer):
+            def build_model(self, graph, rng):
+                return factory(graph, rng)
+
+        hist = _T(parts, cfg, seed=0).run()
+        res.add(name, f"{hist.final_test_accuracy():.4f}", len(hist))
+    if out_dir:
+        res.save(out_dir)
+    return res
+
+
+@register("ext_privacy")
+def run_privacy(
+    mode: str = "quick",
+    out_dir: Optional[str] = None,
+    seeds: Optional[Sequence[int]] = None,
+    dataset: str = "cora",
+    num_parties: int = 3,
+    sigmas: Sequence[float] = (0.0, 0.1, 1.0, 10.0),
+) -> ExperimentResult:
+    params = MODE_PARAMS[mode]
+    parts = _parts(dataset, params, num_parties).parts
+    res = ExperimentResult(
+        name="ext_privacy",
+        headers=["sigma", "epsilon(δ=1e-5)", "Accuracy"],
+        meta={"mode": mode, "dataset": dataset, "M": str(num_parties)},
+    )
+    for sigma in sigmas:
+        cfg = FedOMDConfig(
+            max_rounds=params.max_rounds, patience=params.patience, hidden=params.hidden
+        )
+        trainer = FedOMDTrainer(parts, cfg, seed=0)
+        trainer.exchange = NoisyMomentExchange(
+            trainer.comm, orders=cfg.orders, sigma=sigma, rng=np.random.default_rng(0)
+        )
+        hist = trainer.run()
+        eps = "∞" if sigma == 0 else f"{gaussian_mechanism_epsilon(sigma):.2f}"
+        res.add(sigma, eps, f"{hist.final_test_accuracy():.4f}")
+    if out_dir:
+        res.save(out_dir)
+    return res
+
+
+@register("ext_partitioners")
+def run_partitioners(
+    mode: str = "quick",
+    out_dir: Optional[str] = None,
+    seeds: Optional[Sequence[int]] = None,
+    dataset: str = "cora",
+    num_parties: int = 3,
+) -> ExperimentResult:
+    params = MODE_PARAMS[mode]
+    res = ExperimentResult(
+        name="ext_partitioners",
+        headers=["Partitioner", "LabelJS", "fedgcn", "fedomd"],
+        meta={"mode": mode, "dataset": dataset, "M": str(num_parties)},
+    )
+    for partitioner in ["louvain", "bfs", "random"]:
+        parts = _parts(dataset, params, num_parties, partitioner=partitioner).parts
+        js = label_divergence(parts)
+        gcn = FederatedTrainer(
+            parts,
+            TrainerConfig(max_rounds=params.max_rounds, patience=params.patience, hidden=params.hidden),
+            seed=0,
+        ).run()
+        omd = FedOMDTrainer(
+            parts,
+            FedOMDConfig(max_rounds=params.max_rounds, patience=params.patience, hidden=params.hidden),
+            seed=0,
+        ).run()
+        res.add(
+            partitioner,
+            f"{js:.4f}",
+            f"{gcn.final_test_accuracy():.4f}",
+            f"{omd.final_test_accuracy():.4f}",
+        )
+    if out_dir:
+        res.save(out_dir)
+    return res
+
+
+@register("ext_serveropt")
+def run_serveropt(
+    mode: str = "quick",
+    out_dir: Optional[str] = None,
+    seeds: Optional[Sequence[int]] = None,
+    dataset: str = "cora",
+    num_parties: int = 3,
+) -> ExperimentResult:
+    from repro.baselines import FedGCNTrainer
+
+    params = MODE_PARAMS[mode]
+    parts = _parts(dataset, params, num_parties).parts
+    cfg = TrainerConfig(max_rounds=params.max_rounds, patience=params.patience, hidden=params.hidden)
+    res = ExperimentResult(
+        name="ext_serveropt",
+        headers=["ServerOpt", "Accuracy", "Rounds"],
+        meta={"mode": mode, "dataset": dataset, "M": str(num_parties)},
+    )
+    hist = FedGCNTrainer(parts, cfg, seed=0).run()
+    res.add("fedavg", f"{hist.final_test_accuracy():.4f}", len(hist))
+    for name, cls in SERVER_OPTIMIZERS.items():
+        opt = cls()  # library defaults
+        hist = ServerOptTrainer(FedGCNTrainer, parts, opt, cfg, seed=0).run()
+        res.add(name, f"{hist.final_test_accuracy():.4f}", len(hist))
+    if out_dir:
+        res.save(out_dir)
+    return res

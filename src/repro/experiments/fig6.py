@@ -1,0 +1,52 @@
+"""Figure 6: (α, β) sensitivity grid — FedOMD, 3 parties, Cora/Computer."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.configs import FIG6_ALPHAS, FIG6_BETAS, paper_resolution
+from repro.experiments.registry import register
+from repro.experiments.runner import MODE_PARAMS, ExperimentResult, run_cell
+from repro.reporting import format_acc
+
+
+@register("fig6")
+def run(
+    mode: str = "quick",
+    out_dir: Optional[str] = None,
+    seeds: Optional[Sequence[int]] = None,
+    datasets: Optional[Sequence[str]] = None,
+    num_parties: int = 3,
+    alphas: Optional[Sequence[float]] = None,
+    betas: Optional[Sequence[float]] = None,
+) -> ExperimentResult:
+    params = MODE_PARAMS[mode]
+    datasets = list(datasets or ["cora", "computer"])
+    alphas = list(alphas or FIG6_ALPHAS)
+    betas = list(betas or FIG6_BETAS)
+    res = ExperimentResult(
+        name="fig6",
+        headers=["Dataset", "alpha"] + [f"beta={b}" for b in betas],
+        meta={"mode": mode, "M": str(num_parties)},
+    )
+    cache: dict = {}
+    for ds in datasets:
+        for alpha in alphas:
+            row = [ds, alpha]
+            for beta in betas:
+                mean, std, _ = run_cell(
+                    "fedomd",
+                    ds,
+                    num_parties,
+                    params,
+                    seeds=seeds,
+                    resolution=paper_resolution(ds),
+                    fedomd_overrides=dict(alpha=alpha, beta=beta),
+                    partition_cache=cache,
+                )
+                row.append(format_acc(mean, std))
+            res.add(*row)
+        cache.clear()
+    if out_dir:
+        res.save(out_dir)
+    return res

@@ -1,0 +1,50 @@
+"""Figure 7: Louvain-resolution sweep — 4 datasets, 3 parties, FedOMD.
+
+The expected shape from §5.4: small resolution (few large connected
+communities per party) favors accuracy on citation graphs; dense
+co-purchase graphs tolerate finer cuts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.configs import FIG7_DATASETS, FIG7_RESOLUTIONS
+from repro.experiments.registry import register
+from repro.experiments.runner import MODE_PARAMS, ExperimentResult, run_cell
+from repro.reporting import format_acc
+
+
+@register("fig7")
+def run(
+    mode: str = "quick",
+    out_dir: Optional[str] = None,
+    seeds: Optional[Sequence[int]] = None,
+    datasets: Optional[Sequence[str]] = None,
+    num_parties: int = 3,
+    resolutions: Optional[Sequence[float]] = None,
+) -> ExperimentResult:
+    params = MODE_PARAMS[mode]
+    datasets = list(datasets or FIG7_DATASETS)
+    resolutions = list(resolutions or FIG7_RESOLUTIONS)
+    res = ExperimentResult(
+        name="fig7",
+        headers=["Dataset"] + [f"res={r}" for r in resolutions],
+        meta={"mode": mode, "M": str(num_parties), "model": "fedomd"},
+    )
+    for ds in datasets:
+        row = [ds]
+        for resolution in resolutions:
+            mean, std, _ = run_cell(
+                "fedomd",
+                ds,
+                num_parties,
+                params,
+                seeds=seeds,
+                resolution=resolution,
+            )
+            row.append(format_acc(mean, std))
+        res.add(*row)
+    if out_dir:
+        res.save(out_dir)
+    return res

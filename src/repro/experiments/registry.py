@@ -1,0 +1,26 @@
+"""Experiment registry: name → runner callable."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+REGISTRY: Dict[str, Callable] = {}
+
+
+def register(name: str):
+    """Decorator registering an experiment ``run`` function."""
+
+    def deco(fn: Callable) -> Callable:
+        if name in REGISTRY:
+            raise KeyError(f"experiment {name!r} registered twice")
+        REGISTRY[name] = fn
+        return fn
+
+    return deco
+
+
+def get_experiment(name: str) -> Callable:
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown experiment {name!r}; available: {sorted(REGISTRY)}")

@@ -1,0 +1,43 @@
+"""Table 2: dataset statistics of the generated twins vs the paper."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.registry import register
+from repro.experiments.runner import ExperimentResult, MODE_PARAMS
+from repro.graphs import DATASET_STATS, load_dataset
+
+
+@register("table2")
+def run(mode: str = "quick", out_dir: Optional[str] = None, seeds: Optional[Sequence[int]] = None) -> ExperimentResult:
+    params = MODE_PARAMS[mode]
+    res = ExperimentResult(
+        name="table2",
+        headers=[
+            "Dataset",
+            "#Nodes(paper)",
+            "#Nodes(twin)",
+            "#Edges(paper)",
+            "#Edges(twin)",
+            "#Classes",
+            "#Features",
+        ],
+        meta={"mode": mode, "scale": f"{params.scale}"},
+    )
+    for name, stats in DATASET_STATS.items():
+        # Twin statistics at mode scale (full mode regenerates Table 2
+        # exactly up to Poisson noise on the edge count).
+        g = load_dataset(name, seed=0, scale=params.scale, split=False)
+        res.add(
+            name,
+            stats.nodes,
+            g.num_nodes,
+            stats.edges,
+            g.num_edges,
+            g.num_classes,
+            g.num_features,
+        )
+    if out_dir:
+        res.save(out_dir)
+    return res

@@ -1,0 +1,46 @@
+"""Table 5: many-party scaling — Coauthor-CS with M ∈ {20, 50}."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.configs import TABLE5_DATASET, TABLE5_PARTIES, paper_resolution
+from repro.experiments.registry import register
+from repro.experiments.runner import MODEL_NAMES, MODE_PARAMS, ExperimentResult, run_cell
+from repro.reporting import format_acc
+
+
+@register("table5")
+def run(
+    mode: str = "quick",
+    out_dir: Optional[str] = None,
+    seeds: Optional[Sequence[int]] = None,
+    parties: Optional[Sequence[int]] = None,
+    models: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    params = MODE_PARAMS[mode]
+    parties = list(parties or TABLE5_PARTIES)
+    models = list(models or MODEL_NAMES)
+    res = ExperimentResult(
+        name="table5",
+        headers=["Model"] + [f"M={m}" for m in parties],
+        meta={"mode": mode, "dataset": TABLE5_DATASET},
+    )
+    cache: dict = {}
+    for model in models:
+        row = [model]
+        for m in parties:
+            mean, std, _ = run_cell(
+                model,
+                TABLE5_DATASET,
+                m,
+                params,
+                seeds=seeds,
+                resolution=paper_resolution(TABLE5_DATASET),
+                partition_cache=cache,
+            )
+            row.append(format_acc(mean, std))
+        res.add(*row)
+    if out_dir:
+        res.save(out_dir)
+    return res

@@ -1,0 +1,70 @@
+"""Table 7: depth sweep — FedOMD with 2–10 hidden layers vs 2-layer FedGCN.
+
+Expected shape: accuracy decays with depth (over-smoothing) but the
+10-hidden FedOMD should remain comparable to or better than FedGCN —
+the orthogonal layers slow the collapse.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.configs import (
+    TABLE4_PARTIES,
+    TABLE7_DATASETS,
+    TABLE7_HIDDEN_LAYERS,
+    paper_resolution,
+)
+from repro.experiments.registry import register
+from repro.experiments.runner import MODE_PARAMS, ExperimentResult, run_cell
+from repro.reporting import format_acc
+
+
+@register("table7")
+def run(
+    mode: str = "quick",
+    out_dir: Optional[str] = None,
+    seeds: Optional[Sequence[int]] = None,
+    datasets: Optional[Sequence[str]] = None,
+    parties: Optional[Sequence[int]] = None,
+    depths: Optional[Sequence[int]] = None,
+) -> ExperimentResult:
+    params = MODE_PARAMS[mode]
+    datasets = list(datasets or TABLE7_DATASETS)
+    parties = list(parties or TABLE4_PARTIES)
+    depths = list(depths or TABLE7_HIDDEN_LAYERS)
+    res = ExperimentResult(
+        name="table7",
+        headers=["Dataset", "Model", "Layers"] + [f"M={m}" for m in parties],
+        meta={"mode": mode},
+    )
+    cache: dict = {}
+    for ds in datasets:
+        resolution = paper_resolution(ds)
+        for depth in depths:
+            row = [ds, "fedomd", f"{depth}-hidden"]
+            for m in parties:
+                mean, std, _ = run_cell(
+                    "fedomd",
+                    ds,
+                    m,
+                    params,
+                    seeds=seeds,
+                    resolution=resolution,
+                    fedomd_overrides=dict(num_hidden=depth),
+                    partition_cache=cache,
+                )
+                row.append(format_acc(mean, std))
+            res.add(*row)
+        row = [ds, "fedgcn", "2-GCNConv"]
+        for m in parties:
+            mean, std, _ = run_cell(
+                "fedgcn", ds, m, params, seeds=seeds, resolution=resolution,
+                partition_cache=cache,
+            )
+            row.append(format_acc(mean, std))
+        res.add(*row)
+        cache.clear()
+    if out_dir:
+        res.save(out_dir)
+    return res

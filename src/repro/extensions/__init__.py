@@ -1,0 +1,42 @@
+"""Beyond-the-paper extensions (DESIGN.md §7).
+
+The paper argues (§4.4, contribution ii) that exchanging *statistics*
+instead of features is privacy-friendly and cheap.  These extensions
+make that argument concrete on the same substrate:
+
+* :mod:`repro.extensions.secure_agg` — pairwise additive masking of the
+  moment uploads: the server learns **only the weighted sums** it needs
+  (the masks cancel), never an individual party's statistics.
+* :mod:`repro.extensions.privacy` — Gaussian-mechanism noise on the
+  uploaded statistics, with the (ε, δ) accounting, enabling an
+  accuracy-vs-privacy ablation.
+* :mod:`repro.extensions.partitioners` — a BFS-grown balanced edge-cut
+  partitioner, separating the "Louvain effect" from the "federation
+  effect" in Figure 7-style sweeps.
+"""
+
+from repro.extensions.secure_agg import SecureMomentExchange, pairwise_masks
+from repro.extensions.privacy import NoisyMomentExchange, gaussian_mechanism_epsilon
+from repro.extensions.partitioners import bfs_balanced_partition
+from repro.extensions.server_opt import (
+    SERVER_OPTIMIZERS,
+    FedAdam,
+    FedAvgM,
+    FedYogi,
+    ServerOptTrainer,
+    ServerOptimizer,
+)
+
+__all__ = [
+    "SecureMomentExchange",
+    "pairwise_masks",
+    "NoisyMomentExchange",
+    "gaussian_mechanism_epsilon",
+    "bfs_balanced_partition",
+    "SERVER_OPTIMIZERS",
+    "FedAdam",
+    "FedAvgM",
+    "FedYogi",
+    "ServerOptTrainer",
+    "ServerOptimizer",
+]

@@ -1,0 +1,37 @@
+"""Simulated federated-learning runtime.
+
+The paper simulates FL on a single machine; we do the same but keep the
+communication structure explicit: every byte that would cross the wire
+goes through a :class:`Communicator` with MPI-style collectives
+(broadcast / gather / allgather) and a per-round byte meter, so the
+communication-cost claims of Table 3 and contribution (ii) are measured,
+not assumed.
+
+Key pieces:
+
+* :class:`Communicator` / :class:`CommStats` — metered transport.
+* :func:`fedavg` — weighted parameter averaging (Eq. 2's minimizer).
+* :class:`Client` — owns a party subgraph, a local model and optimizer.
+* :class:`FederatedTrainer` — the synchronous round loop with
+  communication interval, patience-based early stopping, and per-round
+  history (Figure 5's data source).
+"""
+
+from repro.federated.comm import Communicator, CommStats, payload_bytes
+from repro.federated.server import fedavg, uniform_fedavg
+from repro.federated.client import Client
+from repro.federated.history import RoundRecord, TrainingHistory
+from repro.federated.trainer import FederatedTrainer, TrainerConfig
+
+__all__ = [
+    "Communicator",
+    "CommStats",
+    "payload_bytes",
+    "fedavg",
+    "uniform_fedavg",
+    "Client",
+    "RoundRecord",
+    "TrainingHistory",
+    "FederatedTrainer",
+    "TrainerConfig",
+]

@@ -1,0 +1,135 @@
+"""Metered in-process communication channel.
+
+Models the server↔client star topology of Figure 2 with MPI-flavored
+collective names (the natural vocabulary for synchronous FL rounds).
+Payloads are numpy arrays, or arbitrarily nested dict/list/tuple
+structures of them; :func:`payload_bytes` sizes exactly what a real
+transport would serialize, which is what Table 3's communication
+accounting reports.
+
+All transfers deep-copy the payload.  This is deliberate: in-process
+simulation would otherwise share mutable arrays between "machines",
+hiding bugs (e.g. a client mutating the global model in place) that a
+real deployment would surface.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+import numpy as np
+
+
+def payload_bytes(payload: Any) -> int:
+    """Bytes a transport would move for ``payload``.
+
+    Counts ndarray buffers plus scalars at 8 bytes; container overhead is
+    ignored (constant-factor, implementation-specific).
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (int, float, np.integer, np.floating, bool)):
+        return 8
+    if isinstance(payload, str):
+        return len(payload.encode())
+    if isinstance(payload, dict):
+        return sum(payload_bytes(v) for v in payload.values())
+    if isinstance(payload, (list, tuple)):
+        return sum(payload_bytes(v) for v in payload)
+    raise TypeError(f"unsupported payload type {type(payload).__name__}")
+
+
+@dataclass
+class CommStats:
+    """Cumulative traffic counters (bytes and message counts)."""
+
+    uplink_bytes: int = 0  # client → server
+    downlink_bytes: int = 0  # server → client
+    uplink_messages: int = 0
+    downlink_messages: int = 0
+    rounds: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.uplink_bytes + self.downlink_bytes
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "uplink_bytes": self.uplink_bytes,
+            "downlink_bytes": self.downlink_bytes,
+            "uplink_messages": self.uplink_messages,
+            "downlink_messages": self.downlink_messages,
+            "total_bytes": self.total_bytes,
+            "rounds": self.rounds,
+        }
+
+
+@dataclass
+class Communicator:
+    """Star-topology channel between one server and ``num_clients`` parties."""
+
+    num_clients: int
+    stats: CommStats = field(default_factory=CommStats)
+
+    def __post_init__(self) -> None:
+        if self.num_clients < 1:
+            raise ValueError("need at least one client")
+
+    # -- collectives ------------------------------------------------------
+    def broadcast(self, payload: Any) -> List[Any]:
+        """Server → all clients.  Returns one independent copy per client."""
+        size = payload_bytes(payload)
+        self.stats.downlink_bytes += size * self.num_clients
+        self.stats.downlink_messages += self.num_clients
+        return [copy.deepcopy(payload) for _ in range(self.num_clients)]
+
+    def send_to_client(self, client_id: int, payload: Any) -> Any:
+        """Server → one client."""
+        self._check_id(client_id)
+        self.stats.downlink_bytes += payload_bytes(payload)
+        self.stats.downlink_messages += 1
+        return copy.deepcopy(payload)
+
+    def gather(self, payloads: List[Any]) -> List[Any]:
+        """All clients → server.  ``payloads[i]`` comes from client ``i``."""
+        if len(payloads) != self.num_clients:
+            raise ValueError(f"expected {self.num_clients} payloads, got {len(payloads)}")
+        for p in payloads:
+            self.stats.uplink_bytes += payload_bytes(p)
+            self.stats.uplink_messages += 1
+        return [copy.deepcopy(p) for p in payloads]
+
+    def send_to_server(self, client_id: int, payload: Any) -> Any:
+        """One client → server."""
+        self._check_id(client_id)
+        self.stats.uplink_bytes += payload_bytes(payload)
+        self.stats.uplink_messages += 1
+        return copy.deepcopy(payload)
+
+    def allgather(self, payloads: List[Any]) -> List[List[Any]]:
+        """Gather then broadcast the full list back to every client.
+
+        Not used by FedOMD (which only ever moves statistics through the
+        server — a privacy feature §4.4 emphasizes) but provided for
+        decentralized baselines and extensions.
+        """
+        gathered = self.gather(payloads)
+        out = []
+        for _ in range(self.num_clients):
+            size = sum(payload_bytes(p) for p in gathered)
+            self.stats.downlink_bytes += size
+            self.stats.downlink_messages += 1
+            out.append(copy.deepcopy(gathered))
+        return out
+
+    def end_round(self) -> None:
+        """Mark a communication-round boundary (for per-round averages)."""
+        self.stats.rounds += 1
+
+    def _check_id(self, client_id: int) -> None:
+        if not 0 <= client_id < self.num_clients:
+            raise ValueError(f"client id {client_id} out of range [0, {self.num_clients})")

@@ -1,0 +1,74 @@
+"""Per-round training history — the data behind Figure 5."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class RoundRecord:
+    """Metrics of one communication round."""
+
+    round: int
+    train_loss: float
+    val_acc: float
+    test_acc: float
+    uplink_bytes: int = 0
+    downlink_bytes: int = 0
+
+
+@dataclass
+class TrainingHistory:
+    """Accumulates :class:`RoundRecord`s and exposes convergence views."""
+
+    records: List[RoundRecord] = field(default_factory=list)
+
+    def append(self, rec: RoundRecord) -> None:
+        self.records.append(rec)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def rounds(self) -> List[int]:
+        return [r.round for r in self.records]
+
+    @property
+    def test_accuracies(self) -> List[float]:
+        return [r.test_acc for r in self.records]
+
+    @property
+    def val_accuracies(self) -> List[float]:
+        return [r.val_acc for r in self.records]
+
+    @property
+    def train_losses(self) -> List[float]:
+        return [r.train_loss for r in self.records]
+
+    def best(self, metric: str = "val_acc") -> Optional[RoundRecord]:
+        """Record with the best value of ``metric`` (None when empty)."""
+        if not self.records:
+            return None
+        return max(self.records, key=lambda r: getattr(r, metric))
+
+    def final_test_accuracy(self) -> float:
+        """Test accuracy at the best-validation round (standard protocol)."""
+        best = self.best("val_acc")
+        return best.test_acc if best else float("nan")
+
+    def rounds_to_reach(self, test_acc: float) -> Optional[int]:
+        """First round whose test accuracy meets ``test_acc`` (convergence
+        speed metric used by §5.2's convergence analysis)."""
+        for r in self.records:
+            if r.test_acc >= test_acc:
+                return r.round
+        return None
+
+    def as_dict(self) -> Dict[str, list]:
+        return {
+            "round": self.rounds,
+            "train_loss": self.train_losses,
+            "val_acc": self.val_accuracies,
+            "test_acc": self.test_accuracies,
+        }

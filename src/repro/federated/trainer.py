@@ -1,0 +1,227 @@
+"""The synchronous federated training loop.
+
+:class:`FederatedTrainer` implements the three-phase protocol of §3
+(Figure 2): distribute global model → local training → aggregate.
+Algorithm subclasses (FedOMD in :mod:`repro.core.fedomd`, baselines in
+:mod:`repro.baselines`) override four hooks:
+
+* :meth:`build_model` — the local architecture.
+* :meth:`local_loss` — the per-step objective (default: cross-entropy).
+* :meth:`begin_round` — pre-round communication (FedOMD's 2-round
+  moment exchange, SCAFFOLD's control-variate download, …).
+* :meth:`aggregate` — server combination (default: sample-weighted
+  FedAvg; LocGCN returns ``None`` to skip aggregation entirely).
+
+The loop runs ``max_rounds`` communication rounds with
+``local_epochs`` optimizer steps per client per round (the paper's
+communication interval of 1 means one local epoch per round), evaluates
+the weighted cross-party accuracy every round, and early-stops on
+validation accuracy with the paper's patience of 200.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.federated.client import Client
+from repro.federated.comm import Communicator
+from repro.federated.history import RoundRecord, TrainingHistory
+from repro.federated.server import fedavg
+from repro.graphs.data import Graph
+from repro.nn.module import Module
+
+
+@dataclass
+class TrainerConfig:
+    """Hyper-parameters of a federated run (paper defaults, §5.1)."""
+
+    max_rounds: int = 1000
+    local_epochs: int = 1  # communication interval 1
+    patience: int = 200
+    lr: float = 0.02
+    weight_decay: float = 1e-4
+    hidden: int = 64
+    eval_every: int = 1
+    sample_weighted: bool = True  # λ_i ∝ n_i in FedAvg
+    # Fraction of clients sampled per round (1.0 = full participation,
+    # the paper's setting).  Lower values simulate stragglers/dropouts —
+    # unsampled clients neither train nor contribute to aggregation
+    # that round, the standard McMahan et al. client-sampling model.
+    participation_rate: float = 1.0
+    # Abort-and-skip guard: when a client's local loss goes non-finite
+    # (divergence), its step is rolled back instead of poisoning FedAvg.
+    nan_guard: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 1 or self.local_epochs < 1:
+            raise ValueError("max_rounds and local_epochs must be >= 1")
+        if self.patience < 1:
+            raise ValueError("patience must be >= 1")
+        if not 0.0 < self.participation_rate <= 1.0:
+            raise ValueError("participation_rate must be in (0, 1]")
+
+
+class FederatedTrainer:
+    """Base trainer = FedAvg over whatever :meth:`build_model` returns."""
+
+    name = "fedavg"
+
+    def __init__(
+        self,
+        parts: Sequence[Graph],
+        config: Optional[TrainerConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        if not parts:
+            raise ValueError("need at least one party")
+        self.config = config or TrainerConfig()
+        self.seed = seed
+        self.comm = Communicator(num_clients=len(parts))
+        self.history = TrainingHistory()
+        self._round_rng = np.random.default_rng(seed + 99991)
+        self._participants: Optional[List[int]] = None
+        self.clients: List[Client] = []
+        for cid, g in enumerate(parts):
+            # Same seed for every client: all parties start from one
+            # global model, as phase 1 of §3 requires.
+            model = self.build_model(g, np.random.default_rng(seed))
+            self.clients.append(
+                Client(cid, g, model, lr=self.config.lr, weight_decay=self.config.weight_decay)
+            )
+        self._sync_initial_state()
+
+    # ------------------------------------------------------------------
+    # hooks
+    # ------------------------------------------------------------------
+    def build_model(self, graph: Graph, rng: np.random.Generator) -> Module:
+        """Local model factory (default: 2-layer GCN)."""
+        from repro.gnn import GCN
+
+        return GCN(graph.num_features, graph.num_classes, hidden=self.config.hidden, rng=rng)
+
+    def local_loss(self, client: Client) -> Tensor:
+        """Per-step objective (default: masked cross-entropy)."""
+        return client.ce_loss()
+
+    def begin_round(self, round_idx: int) -> None:
+        """Pre-round communication hook (default: none)."""
+
+    def participating_clients(self) -> List[Client]:
+        """Clients sampled for the current round (all, by default)."""
+        if self._participants is None:
+            return self.clients
+        return [self.clients[i] for i in self._participants]
+
+    def _sample_participants(self) -> None:
+        rate = self.config.participation_rate
+        if rate >= 1.0:
+            self._participants = None
+            return
+        m = len(self.clients)
+        k = max(1, int(round(rate * m)))
+        self._participants = sorted(self._round_rng.choice(m, size=k, replace=False).tolist())
+
+    def aggregate(self) -> Optional[Dict[str, np.ndarray]]:
+        """Collect participant states, return the new global state."""
+        participants = self.participating_clients()
+        states = [c.get_state() for c in participants]
+        # Meter the uplink as if only participants reported (they did).
+        for c, s in zip(participants, states):
+            self.comm.send_to_server(c.cid, s)
+        weights = (
+            [max(c.num_train, 1) for c in participants] if self.config.sample_weighted else None
+        )
+        return fedavg(states, weights)
+
+    def after_local_training(self, round_idx: int) -> None:
+        """Hook after local epochs, before aggregation (default: none)."""
+
+    # ------------------------------------------------------------------
+    # loop
+    # ------------------------------------------------------------------
+    def _sync_initial_state(self) -> None:
+        """Phase 1: broadcast W₀ so every party starts identically."""
+        w0 = self.clients[0].get_state()
+        for client, state in zip(self.clients, self.comm.broadcast(w0)):
+            client.set_state(state)
+
+    def evaluate(self, split: str = "test") -> float:
+        """Node-weighted average accuracy across parties."""
+        accs, counts = [], []
+        for c in self.clients:
+            acc, n = c.evaluate(split)
+            if n > 0:
+                accs.append(acc)
+                counts.append(n)
+        if not counts:
+            return float("nan")
+        return float(np.average(accs, weights=counts))
+
+    def run(self, verbose: bool = False) -> TrainingHistory:
+        """Train until ``max_rounds`` or patience exhaustion; return history."""
+        cfg = self.config
+        best_val = -np.inf
+        best_states: Optional[List[Dict[str, np.ndarray]]] = None
+        rounds_since_best = 0
+
+        for round_idx in range(cfg.max_rounds):
+            self._sample_participants()
+            self.begin_round(round_idx)
+
+            losses = []
+            for client in self.participating_clients():
+                for _ in range(cfg.local_epochs):
+                    losses.append(
+                        client.train_step(self.local_loss, nan_guard=cfg.nan_guard)
+                    )
+            self.after_local_training(round_idx)
+
+            global_state = self.aggregate()
+            if global_state is not None:
+                for client, state in zip(self.clients, self.comm.broadcast(global_state)):
+                    client.set_state(state)
+            self.comm.end_round()
+
+            if round_idx % cfg.eval_every == 0:
+                val_acc = self.evaluate("val")
+                test_acc = self.evaluate("test")
+                finite = [l for l in losses if np.isfinite(l)]
+                self.history.append(
+                    RoundRecord(
+                        round=round_idx,
+                        train_loss=float(np.mean(finite)) if finite else float("nan"),
+                        val_acc=val_acc,
+                        test_acc=test_acc,
+                        uplink_bytes=self.comm.stats.uplink_bytes,
+                        downlink_bytes=self.comm.stats.downlink_bytes,
+                    )
+                )
+                if verbose:
+                    print(
+                        f"[{self.name}] round {round_idx:4d} "
+                        f"loss {self.history.records[-1].train_loss:.4f} "
+                        f"val {val_acc:.4f} test {test_acc:.4f}"
+                    )
+                if val_acc > best_val:
+                    best_val = val_acc
+                    best_states = [c.get_state() for c in self.clients]
+                    rounds_since_best = 0
+                else:
+                    rounds_since_best += cfg.eval_every
+                if rounds_since_best >= cfg.patience:
+                    break
+
+        # Restore the best-validation snapshot (standard early stopping).
+        if best_states is not None:
+            for client, state in zip(self.clients, best_states):
+                client.set_state(state)
+        return self.history
+
+    # ------------------------------------------------------------------
+    def final_test_accuracy(self) -> float:
+        """Test accuracy of the restored best model."""
+        return self.evaluate("test")

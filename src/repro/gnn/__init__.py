@@ -1,0 +1,34 @@
+"""Graph neural network layers and models.
+
+Implements the local models of the paper:
+
+* :class:`GCNConv` — Kipf–Welling convolution (Eqs. 7 and 9's first and
+  last layers, and the LocGCN/FedGCN baselines).
+* :class:`OrthoConv` — the paper's hidden layer (Eq. 8): GCN propagation
+  through a Frobenius-normalized, orthogonality-constrained square
+  weight, with optional Newton–Schulz hard orthogonalization (the
+  "Newton iteration" of §4.3 / Ortho-GCN [11]).
+* :class:`OrthoGCN` — Table 1's full stack (GCNConv → OrthoConv^k → GCNConv).
+* :class:`GCN`, :class:`MLP`, :class:`SGC`, :class:`SAGE` — baseline local models.
+"""
+
+from repro.gnn.gcn_conv import GCNConv
+from repro.gnn.ortho import OrthoConv, newton_schulz_orthogonalize
+from repro.gnn.sage_conv import SAGEConv
+from repro.gnn.gat_conv import GATConv
+from repro.gnn.models import GCN, MLP, SGC, SAGE, APPNP, GAT, OrthoGCN
+
+__all__ = [
+    "GCNConv",
+    "OrthoConv",
+    "newton_schulz_orthogonalize",
+    "SAGEConv",
+    "GATConv",
+    "GCN",
+    "MLP",
+    "SGC",
+    "SAGE",
+    "APPNP",
+    "GAT",
+    "OrthoGCN",
+]

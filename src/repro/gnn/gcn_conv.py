@@ -1,0 +1,56 @@
+"""Kipf–Welling graph convolution."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd import Tensor, matmul, spmm
+from repro.nn import init as init_mod
+from repro.nn.module import Module, Parameter
+
+
+class GCNConv(Module):
+    """One graph convolution: ``Z' = S̃ (Z W) + b``.
+
+    ``S̃`` is the symmetric-normalized adjacency (a constant per graph),
+    passed at call time so one layer instance can serve any subgraph —
+    the federated clients all share the layer *shape* but own different
+    propagation matrices.
+
+    The multiply order ``S̃ (Z W)`` (transform then propagate) costs
+    O(n·d_in·d_out + nnz·d_out); the other order would pay
+    O(nnz·d_in + n·d_in·d_out) — cheaper only when d_out > d_in, so we
+    pick per-call based on the shapes.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        init: str = "xavier_uniform",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature dimensions must be positive")
+        gen = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init_mod.get(init)(in_features, out_features, gen))
+        self.bias = Parameter(init_mod.zeros(out_features)) if bias else None
+
+    def forward(self, s_norm: sp.spmatrix, z: Tensor) -> Tensor:
+        if self.out_features <= self.in_features:
+            out = spmm(s_norm, matmul(z, self.weight))
+        else:
+            out = matmul(spmm(s_norm, z), self.weight)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"GCNConv({self.in_features}, {self.out_features})"

@@ -1,0 +1,129 @@
+"""The :class:`Graph` container used throughout the reproduction.
+
+One immutable-ish record per (sub)graph: features ``x`` (dense float
+array — the bag-of-words features are sparse in spirit but small enough
+dense), CSR adjacency ``adj`` (symmetric, no self loops), integer labels
+``y``, and optional boolean train/val/test masks.  The normalized
+propagation matrix ``s_norm`` (the paper's S̃) is computed lazily and
+cached, since every GCN forward needs it and it never changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+
+@dataclass
+class Graph:
+    """A node-classification graph.
+
+    Attributes
+    ----------
+    x:
+        ``(n, f)`` float feature matrix.
+    adj:
+        ``(n, n)`` symmetric CSR adjacency with zero diagonal.
+    y:
+        ``(n,)`` integer labels.
+    train_mask / val_mask / test_mask:
+        Optional boolean masks over nodes.
+    num_classes:
+        Total class count of the *global* problem — must be carried by
+        subgraphs too (a party may not observe all classes locally, but
+        its classifier head must still be class-complete for FedAvg).
+    """
+
+    x: np.ndarray
+    adj: sp.csr_matrix
+    y: np.ndarray
+    num_classes: int
+    train_mask: Optional[np.ndarray] = None
+    val_mask: Optional[np.ndarray] = None
+    test_mask: Optional[np.ndarray] = None
+    name: str = "graph"
+    _s_norm: Optional[sp.csr_matrix] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.x = np.asarray(self.x, dtype=np.float64)
+        self.y = np.asarray(self.y, dtype=np.int64)
+        self.adj = sp.csr_matrix(self.adj)
+        n = self.x.shape[0]
+        if self.adj.shape != (n, n):
+            raise ValueError(f"adjacency shape {self.adj.shape} does not match {n} nodes")
+        if self.y.shape[0] != n:
+            raise ValueError("label count does not match node count")
+        if self.num_classes <= 0:
+            raise ValueError("num_classes must be positive")
+        if self.y.size and (self.y.min() < 0 or self.y.max() >= self.num_classes):
+            raise ValueError("labels out of range for num_classes")
+        for mask_name in ("train_mask", "val_mask", "test_mask"):
+            m = getattr(self, mask_name)
+            if m is not None:
+                m = np.asarray(m, dtype=bool)
+                if m.shape != (n,):
+                    raise ValueError(f"{mask_name} has shape {m.shape}, expected ({n},)")
+                setattr(self, mask_name, m)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.x.shape[0]
+
+    @property
+    def num_features(self) -> int:
+        return self.x.shape[1]
+
+    @property
+    def num_edges(self) -> int:
+        """Undirected edge count (each edge stored twice in CSR)."""
+        return int(self.adj.nnz // 2)
+
+    @property
+    def s_norm(self) -> sp.csr_matrix:
+        """Cached S̃ = D^{-1/2}(A+I)D^{-1/2} (Eq. 7/9's propagation matrix)."""
+        if self._s_norm is None:
+            from repro.graphs.laplacian import normalized_adjacency
+
+            self._s_norm = normalized_adjacency(self.adj)
+        return self._s_norm
+
+    def degrees(self) -> np.ndarray:
+        """Node degrees (without self loops)."""
+        return np.asarray(self.adj.sum(axis=1)).ravel()
+
+    def label_counts(self) -> np.ndarray:
+        """Histogram of labels over all ``num_classes`` classes."""
+        return np.bincount(self.y, minlength=self.num_classes)
+
+    def validate(self) -> None:
+        """Structural invariants: symmetry, zero diagonal, finite features."""
+        if (self.adj != self.adj.T).nnz != 0:
+            raise ValueError("adjacency must be symmetric")
+        if self.adj.diagonal().sum() != 0:
+            raise ValueError("adjacency must have an empty diagonal")
+        if not np.all(np.isfinite(self.x)):
+            raise ValueError("features contain non-finite values")
+
+    def copy(self) -> "Graph":
+        """Deep copy (masks included, cache dropped)."""
+        return Graph(
+            x=self.x.copy(),
+            adj=self.adj.copy(),
+            y=self.y.copy(),
+            num_classes=self.num_classes,
+            train_mask=None if self.train_mask is None else self.train_mask.copy(),
+            val_mask=None if self.val_mask is None else self.val_mask.copy(),
+            test_mask=None if self.test_mask is None else self.test_mask.copy(),
+            name=self.name,
+        )
+
+    def summary(self) -> str:
+        """One-line description (Table 2 row format)."""
+        return (
+            f"{self.name}: {self.num_nodes} nodes, {self.num_edges} edges, "
+            f"{self.num_classes} classes, {self.num_features} features"
+        )

@@ -1,0 +1,72 @@
+"""Weight initializers.
+
+§4.3 of the paper grounds its Gaussian-feature assumption in Xavier [10]
+and He [15] initialization; we provide both (normal and uniform variants)
+plus an explicit orthogonal initializer used by ablations of the
+OrthoConv layer.  All functions are pure: they take a seeded
+``numpy.random.Generator`` and return an array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot & Bengio (2010) uniform: U(−a, a), a = sqrt(6/(fan_in+fan_out))."""
+    a = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-a, a, size=(fan_in, fan_out))
+
+
+def xavier_normal(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot normal: N(0, 2/(fan_in+fan_out))."""
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def he_normal(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """He et al. (2015) normal: N(0, 2/fan_in) — matched to ReLU."""
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def he_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """He uniform: U(−a, a), a = sqrt(6/fan_in)."""
+    a = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-a, a, size=(fan_in, fan_out))
+
+
+def orthogonal(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Exactly orthogonal (semi-orthogonal when rectangular) via QR.
+
+    Initializing OrthoConv weights at an orthogonal point makes the
+    Eq. 6 penalty start at ~0; used by the hard-orthogonality ablation.
+    """
+    n = max(fan_in, fan_out)
+    a = rng.standard_normal((n, n))
+    q, r = np.linalg.qr(a)
+    # Sign-fix so the distribution is uniform over the orthogonal group.
+    q *= np.sign(np.diag(r))
+    return q[:fan_in, :fan_out]
+
+
+def zeros(*shape: int) -> np.ndarray:
+    """Zero array (bias init)."""
+    return np.zeros(shape)
+
+
+INITIALIZERS = {
+    "xavier_uniform": xavier_uniform,
+    "xavier_normal": xavier_normal,
+    "he_normal": he_normal,
+    "he_uniform": he_uniform,
+    "orthogonal": orthogonal,
+}
+
+
+def get(name: str):
+    """Look up an initializer by name (config-file friendly)."""
+    try:
+        return INITIALIZERS[name]
+    except KeyError:
+        raise ValueError(f"unknown initializer {name!r}; choose from {sorted(INITIALIZERS)}")

@@ -1,0 +1,118 @@
+"""First-order optimizers: SGD (with momentum) and Adam, plus weight decay.
+
+Weight decay is decoupled (applied to the data, not the gradient moment
+estimates) matching the convention of GCN reference implementations with
+``weight_decay=1e-4`` as the paper fixes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base: holds parameter list, provides ``zero_grad``/``step`` contract."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float, weight_decay: float = 0.0) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.lr = lr
+        self.weight_decay = weight_decay
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def _grad(self, p: Parameter) -> np.ndarray:
+        """Gradient with L2 weight decay folded in (0 when p has no grad)."""
+        g = p.grad if p.grad is not None else np.zeros_like(p.data)
+        if self.weight_decay:
+            g = g + self.weight_decay * p.data
+        return g
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr, weight_decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params] if momentum else None
+
+    def step(self) -> None:
+        for i, p in enumerate(self.params):
+            g = self._grad(p)
+            if self._velocity is not None:
+                v = self._velocity[i]
+                v *= self.momentum
+                v += g
+                g = v
+            p.data -= self.lr * g
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015) with bias correction.
+
+    The de-facto optimizer for GCN training; used by all experiments
+    since the paper does not specify one and Ortho-GCN [11] uses Adam.
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 0.01,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr, weight_decay)
+        b1, b2 = betas
+        if not (0.0 <= b1 < 1.0 and 0.0 <= b2 < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        self.b1, self.b2 = b1, b2
+        self.eps = eps
+        self.t = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.t += 1
+        b1, b2, t = self.b1, self.b2, self.t
+        bc1 = 1.0 - b1**t
+        bc2 = 1.0 - b2**t
+        for i, p in enumerate(self.params):
+            g = self._grad(p)
+            m, v = self._m[i], self._v[i]
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * (g * g)
+            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+    def reset_state(self) -> None:
+        """Clear moment estimates (used when a new global model arrives)."""
+        self.t = 0
+        for m in self._m:
+            m[...] = 0.0
+        for v in self._v:
+            v[...] = 0.0

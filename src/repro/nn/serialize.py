@@ -1,0 +1,61 @@
+"""Model and trainer checkpointing (NumPy ``.npz``, no pickle).
+
+``save_state``/``load_state`` move a module's ``state_dict`` to disk.
+``save_checkpoint``/``load_checkpoint`` additionally carry scalar
+metadata (round index, best validation accuracy, config echo) so a
+federated run can resume or be audited after the fact.  Everything is
+plain ``npz`` — portable, inspectable, and free of arbitrary-code
+pickle risks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+
+_META_KEY = "__checkpoint_meta__"
+
+
+def save_state(module: Module, path: str) -> str:
+    """Write ``module.state_dict()`` to ``path`` (npz)."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    np.savez(path, **module.state_dict())
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def load_state(module: Module, path: str, strict: bool = True) -> Module:
+    """Load an npz state into ``module`` in place."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path) as data:
+        state = {k: data[k] for k in data.files if k != _META_KEY}
+    module.load_state_dict(state, strict=strict)
+    return module
+
+
+def save_checkpoint(
+    module: Module, path: str, metadata: Optional[Dict] = None
+) -> str:
+    """State + JSON-serializable metadata in one npz file."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    payload = dict(module.state_dict())
+    meta = json.dumps(metadata or {})
+    payload[_META_KEY] = np.frombuffer(meta.encode(), dtype=np.uint8)
+    np.savez(path, **payload)
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def load_checkpoint(module: Module, path: str, strict: bool = True) -> Tuple[Module, Dict]:
+    """Restore state and return ``(module, metadata)``."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path) as data:
+        state = {k: data[k] for k in data.files if k != _META_KEY}
+        meta_raw = data[_META_KEY].tobytes().decode() if _META_KEY in data.files else "{}"
+    module.load_state_dict(state, strict=strict)
+    return module, json.loads(meta_raw)

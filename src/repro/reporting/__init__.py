@@ -1,0 +1,18 @@
+"""Result rendering: ASCII tables, CSV persistence, text sparklines.
+
+No matplotlib is available offline, so figures are reproduced as their
+underlying data series (CSV) plus terminal-renderable views.
+"""
+
+from repro.reporting.tables import ascii_table, format_acc
+from repro.reporting.csvout import write_csv, read_csv
+from repro.reporting.spark import sparkline, render_series
+
+__all__ = [
+    "ascii_table",
+    "format_acc",
+    "write_csv",
+    "read_csv",
+    "sparkline",
+    "render_series",
+]

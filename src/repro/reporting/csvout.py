@@ -1,0 +1,32 @@
+"""Tiny CSV persistence for experiment outputs (results/ directory)."""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, List, Sequence
+
+
+def write_csv(path: str, headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Write rows to ``path`` (parent dirs created); returns the path."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", newline="") as f:
+        w = csv.writer(f)
+        w.writerow(headers)
+        for r in rows:
+            if len(r) != len(headers):
+                raise ValueError("row length does not match header length")
+            w.writerow(r)
+    return path
+
+
+def read_csv(path: str) -> Dict[str, List[str]]:
+    """Read a CSV back as column-name → list-of-strings."""
+    with open(path, newline="") as f:
+        reader = csv.reader(f)
+        headers = next(reader)
+        cols: Dict[str, List[str]] = {h: [] for h in headers}
+        for row in reader:
+            for h, v in zip(headers, row):
+                cols[h].append(v)
+    return cols

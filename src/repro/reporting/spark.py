@@ -1,0 +1,42 @@
+"""Terminal sparklines — figure stand-ins for convergence/sweep curves."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], lo: float = None, hi: float = None) -> str:
+    """One-line unicode sparkline of ``values`` (NaNs render as spaces)."""
+    vals = np.asarray(list(values), dtype=float)
+    if vals.size == 0:
+        return ""
+    finite = vals[np.isfinite(vals)]
+    if finite.size == 0:
+        return " " * vals.size
+    lo = float(finite.min()) if lo is None else lo
+    hi = float(finite.max()) if hi is None else hi
+    span = hi - lo if hi > lo else 1.0
+    out = []
+    for v in vals:
+        if not np.isfinite(v):
+            out.append(" ")
+        else:
+            idx = int((v - lo) / span * (len(_BLOCKS) - 1))
+            out.append(_BLOCKS[min(max(idx, 0), len(_BLOCKS) - 1)])
+    return "".join(out)
+
+
+def render_series(name: str, xs: Sequence[float], ys: Sequence[float], width: int = 60) -> str:
+    """``name  min..max  ▂▃▅▆`` — downsampled to ``width`` columns."""
+    ys = list(ys)
+    if len(ys) > width:
+        idx = np.linspace(0, len(ys) - 1, width).astype(int)
+        ys = [ys[i] for i in idx]
+    finite = [y for y in ys if np.isfinite(y)]
+    lo = min(finite) if finite else float("nan")
+    hi = max(finite) if finite else float("nan")
+    return f"{name:24s} [{lo:.3f}..{hi:.3f}] {sparkline(ys)}"

@@ -1,0 +1,43 @@
+"""ASCII table rendering in the paper's Table 4 style."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_acc(mean: float, std: Optional[float] = None, bold: bool = False) -> str:
+    """``54.35 (±5.86)`` formatting used by Tables 4–7 (percent scale)."""
+    core = f"{100 * mean:.2f}"
+    if std is not None:
+        core += f" (±{100 * std:.2f})"
+    return f"*{core}*" if bold else core
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width grid table; every cell is str()'d."""
+    str_rows = [[str(c) for c in r] for r in rows]
+    widths = [len(h) for h in headers]
+    for r in str_rows:
+        if len(r) != len(headers):
+            raise ValueError("row length does not match header length")
+        for i, c in enumerate(r):
+            widths[i] = max(widths[i], len(c))
+
+    def line(cells):
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append(line(headers))
+    out.append(sep)
+    for r in str_rows:
+        out.append(line(r))
+    out.append(sep)
+    return "\n".join(out)

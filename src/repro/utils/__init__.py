@@ -1,0 +1,5 @@
+"""Small shared utilities: timing and lightweight profiling."""
+
+from repro.utils.profiling import Timer, profile_sections
+
+__all__ = ["Timer", "profile_sections"]

@@ -1,0 +1,74 @@
+"""Measurement-first utilities (the optimization-workflow rule of the
+scientific-python guide: *no optimization without measuring*).
+
+:class:`Timer` is a context manager accumulating wall-clock per label;
+:func:`profile_sections` renders the accumulated table.  Used by
+Table 3's cost accounting and available to users profiling their own
+workloads.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from typing import Dict
+
+
+class Timer:
+    """Accumulating section timer.
+
+    >>> t = Timer()
+    >>> with t("forward"):
+    ...     pass
+    >>> t.total("forward") >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = defaultdict(float)
+        self._counts: Dict[str, int] = defaultdict(int)
+        self._label: str | None = None
+        self._start: float = 0.0
+
+    def __call__(self, label: str) -> "Timer":
+        self._label = label
+        return self
+
+    def __enter__(self) -> "Timer":
+        if self._label is None:
+            raise RuntimeError("use as `with timer('label'):`")
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._totals[self._label] += time.perf_counter() - self._start
+        self._counts[self._label] += 1
+        self._label = None
+
+    def total(self, label: str) -> float:
+        return self._totals[label]
+
+    def count(self, label: str) -> int:
+        return self._counts[label]
+
+    def mean(self, label: str) -> float:
+        c = self._counts[label]
+        return self._totals[label] / c if c else 0.0
+
+    def labels(self):
+        return sorted(self._totals)
+
+    def reset(self) -> None:
+        self._totals.clear()
+        self._counts.clear()
+
+
+def profile_sections(timer: Timer) -> str:
+    """Render a timer as an ASCII table sorted by total time."""
+    from repro.reporting import ascii_table
+
+    rows = [
+        [label, f"{timer.total(label):.4f}", timer.count(label), f"{timer.mean(label):.5f}"]
+        for label in sorted(timer.labels(), key=timer.total, reverse=True)
+    ]
+    return ascii_table(["section", "total_s", "calls", "mean_s"], rows)

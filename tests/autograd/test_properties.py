@@ -1,0 +1,110 @@
+"""Hypothesis property-based tests for autograd invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autograd import Tensor, matmul, relu, softmax, log_softmax
+from repro.autograd.ops_basic import add, mul
+from repro.autograd.ops_reduce import sum as tsum, mean as tmean
+
+
+finite_floats = st.floats(min_value=-10, max_value=10, allow_nan=False, allow_infinity=False)
+
+
+def arrays(shape):
+    return hnp.arrays(np.float64, shape, elements=finite_floats)
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays((3, 4)), arrays((3, 4)))
+def test_add_commutes(a, b):
+    np.testing.assert_allclose(add(Tensor(a), Tensor(b)).data, add(Tensor(b), Tensor(a)).data)
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays((3, 4)), arrays((3, 4)), arrays((3, 4)))
+def test_add_associates(a, b, c):
+    lhs = add(add(Tensor(a), Tensor(b)), Tensor(c)).data
+    rhs = add(Tensor(a), add(Tensor(b), Tensor(c))).data
+    np.testing.assert_allclose(lhs, rhs, atol=1e-12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays((3, 4)))
+def test_sum_grad_is_ones(a):
+    t = Tensor(a, requires_grad=True)
+    tsum(t).backward()
+    np.testing.assert_array_equal(t.grad, np.ones_like(a))
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays((4, 5)))
+def test_mean_grad_is_uniform(a):
+    t = Tensor(a, requires_grad=True)
+    tmean(t).backward()
+    np.testing.assert_allclose(t.grad, np.full_like(a, 1.0 / a.size))
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays((4, 4)))
+def test_relu_idempotent(a):
+    t = Tensor(a)
+    once = relu(t).data
+    twice = relu(relu(t)).data
+    np.testing.assert_array_equal(once, twice)
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays((4, 4)))
+def test_relu_nonnegative(a):
+    assert np.all(relu(Tensor(a)).data >= 0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays((5, 3)))
+def test_softmax_is_distribution(a):
+    out = softmax(Tensor(a)).data
+    assert np.all(out >= 0)
+    np.testing.assert_allclose(out.sum(axis=1), np.ones(5), atol=1e-12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays((5, 3)), st.floats(min_value=-5, max_value=5, allow_nan=False))
+def test_softmax_shift_invariant(a, c):
+    # softmax(x + c) == softmax(x): the stability property the max-shift uses.
+    np.testing.assert_allclose(
+        softmax(Tensor(a + c)).data, softmax(Tensor(a)).data, atol=1e-10
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(arrays((5, 3)))
+def test_log_softmax_upper_bound(a):
+    assert np.all(log_softmax(Tensor(a)).data <= 1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays((3, 4)), arrays((4, 2)))
+def test_matmul_matches_numpy(a, b):
+    np.testing.assert_allclose(matmul(Tensor(a), Tensor(b)).data, a @ b, atol=1e-10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays((3, 3)), arrays((3, 3)))
+def test_linearity_of_grad(a, b):
+    # d(sum(x*a) + sum(x*b))/dx == a + b
+    x = Tensor(np.ones((3, 3)), requires_grad=True)
+    loss = tsum(mul(x, Tensor(a))) + tsum(mul(x, Tensor(b)))
+    loss.backward()
+    np.testing.assert_allclose(x.grad, a + b, atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays((4, 3)))
+def test_double_backward_accumulates_exactly_twice(a):
+    x = Tensor(a, requires_grad=True)
+    tsum(mul(x, x)).backward()
+    g1 = x.grad.copy()
+    tsum(mul(x, x)).backward()
+    np.testing.assert_allclose(x.grad, 2 * g1, atol=1e-12)

@@ -1,0 +1,179 @@
+"""Tests for moment computation and the CMD distance."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.core.cmd import cmd_distance, cmd_distance_arrays, layerwise_cmd
+from repro.core.moments import (
+    central_moments_np,
+    empirical_activation_range,
+    layer_means,
+    layer_means_np,
+    moments_tensor,
+)
+
+RNG = np.random.default_rng(19)
+
+
+class TestMomentsNumpy:
+    def test_layer_means(self):
+        z = RNG.standard_normal((10, 4))
+        (m,) = layer_means_np([z])
+        np.testing.assert_allclose(m, z.mean(axis=0))
+
+    def test_layer_means_rejects_1d(self):
+        with pytest.raises(ValueError):
+            layer_means_np([np.zeros(3)])
+
+    def test_central_moment_order2_is_variance(self):
+        z = RNG.standard_normal((500, 3))
+        (m2,) = central_moments_np(z, z.mean(axis=0), [2])
+        np.testing.assert_allclose(m2, z.var(axis=0), rtol=1e-10)
+
+    def test_central_moment_order3_zero_for_symmetric(self):
+        z = np.concatenate([RNG.standard_normal((4000, 2))] * 1)
+        z = np.concatenate([z, -z])  # exactly symmetric
+        (m3,) = central_moments_np(z, z.mean(axis=0), [3])
+        np.testing.assert_allclose(m3, 0.0, atol=1e-12)
+
+    def test_moments_about_other_mean(self):
+        # E((Z - c)^1) = mean(Z) - c  for any constant c.
+        z = RNG.standard_normal((50, 2))
+        c = np.array([1.0, -1.0])
+        (m1,) = central_moments_np(z, c, [1])
+        np.testing.assert_allclose(m1, z.mean(axis=0) - c)
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            central_moments_np(np.zeros((3, 2)), np.zeros(2), [0])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            central_moments_np(np.zeros((3, 2)), np.zeros(3), [2])
+
+    def test_empirical_range(self):
+        a, b = empirical_activation_range([np.array([[0.1, 0.5]]), np.array([[-0.2, 0.9]])])
+        assert (a, b) == (-0.2, 0.9)
+
+    def test_empirical_range_degenerate(self):
+        a, b = empirical_activation_range([np.ones((3, 2))])
+        assert b - a == 1.0
+
+
+class TestMomentsTensor:
+    def test_matches_numpy(self):
+        z = RNG.standard_normal((20, 3))
+        t = Tensor(z)
+        means = layer_means([t])[0].data
+        np.testing.assert_allclose(means, z.mean(axis=0))
+        moms = moments_tensor(t, t.mean(axis=0), [2, 3])
+        ref = central_moments_np(z, z.mean(axis=0), [2, 3])
+        for got, want in zip(moms, ref):
+            np.testing.assert_allclose(got.data, want, rtol=1e-12)
+
+    @pytest.mark.parametrize("j", [2, 3, 4, 5])
+    def test_gradcheck_each_order(self, j):
+        z = Tensor(RNG.standard_normal((6, 3)), requires_grad=True)
+
+        def f(t):
+            return (moments_tensor(t, t.mean(axis=0), [j])[0] ** 2).sum()
+
+        assert gradcheck(f, [z])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            moments_tensor(Tensor(np.zeros(3)), Tensor(np.zeros(3)), [2])
+
+
+class TestCMDDistance:
+    def test_zero_when_matching_targets(self):
+        z = RNG.standard_normal((40, 3))
+        mu = z.mean(axis=0)
+        targets = central_moments_np(z, mu, [2, 3, 4, 5])
+        d = cmd_distance(Tensor(z), mu, targets).item()
+        # l2_norm has an eps floor, so "zero" means a few sqrt(eps)·terms.
+        assert d < 1e-4
+
+    def test_positive_for_shifted(self):
+        z = RNG.standard_normal((40, 3))
+        mu = z.mean(axis=0) + 1.0
+        targets = central_moments_np(z, z.mean(axis=0), [2, 3, 4, 5])
+        assert cmd_distance(Tensor(z), mu, targets).item() > 0.5
+
+    def test_gradcheck(self):
+        z = Tensor(RNG.standard_normal((8, 3)), requires_grad=True)
+        target_mean = RNG.standard_normal(3)
+        targets = [RNG.standard_normal(3) for _ in range(4)]
+        assert gradcheck(lambda t: cmd_distance(t, target_mean, targets), [z])
+
+    def test_span_normalization(self):
+        z = RNG.standard_normal((30, 2))
+        mu = np.zeros(2)
+        targets = [np.zeros(2)] * 4
+        d1 = cmd_distance(Tensor(z), mu, targets, a=0, b=1).item()
+        d2 = cmd_distance(Tensor(z), mu, targets, a=0, b=2).item()
+        assert d2 < d1  # larger span shrinks every term
+
+    def test_rejects_bad_span(self):
+        with pytest.raises(ValueError):
+            cmd_distance(Tensor(np.zeros((3, 2))), np.zeros(2), [np.zeros(2)] * 4, a=1, b=1)
+
+    def test_rejects_mismatched_targets(self):
+        with pytest.raises(ValueError):
+            cmd_distance(Tensor(np.zeros((3, 2))), np.zeros(2), [np.zeros(2)])
+
+
+class TestCMDArrays:
+    def test_identical_samples_zero(self):
+        z = RNG.standard_normal((50, 4))
+        assert cmd_distance_arrays(z, z.copy()) == pytest.approx(0.0, abs=1e-12)
+
+    def test_symmetry(self):
+        z1 = RNG.standard_normal((50, 4))
+        z2 = RNG.standard_normal((60, 4)) + 0.5
+        assert cmd_distance_arrays(z1, z2) == pytest.approx(cmd_distance_arrays(z2, z1))
+
+    def test_triangle_like_monotonicity(self):
+        # Larger mean shift -> larger CMD.
+        z = RNG.standard_normal((200, 3))
+        d_small = cmd_distance_arrays(z, z + 0.1)
+        d_big = cmd_distance_arrays(z, z + 1.0)
+        assert d_big > d_small
+
+    def test_scale_mismatch_detected(self):
+        z = RNG.standard_normal((300, 2))
+        assert cmd_distance_arrays(z, 3 * z) > 0.5
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            cmd_distance_arrays(np.zeros((3, 2)), np.zeros((3, 3)))
+
+    def test_matches_tensor_path(self):
+        # Two-sample CMD == differentiable CMD with the other sample's
+        # statistics as targets.
+        z1 = RNG.standard_normal((40, 3))
+        z2 = RNG.standard_normal((50, 3)) + 0.3
+        mu2 = z2.mean(axis=0)
+        targets = central_moments_np(z2, mu2, [2, 3, 4, 5])
+        d_tensor = cmd_distance(Tensor(z1), mu2, targets).item()
+        d_np = cmd_distance_arrays(z1, z2)
+        assert d_tensor == pytest.approx(d_np, rel=1e-4, abs=1e-5)
+
+
+class TestLayerwiseCMD:
+    def test_sums_layers(self):
+        z = RNG.standard_normal((20, 3))
+        mu = np.zeros(3)
+        targets = [np.zeros(3)] * 4
+        single = cmd_distance(Tensor(z), mu, targets).item()
+        double = layerwise_cmd([Tensor(z), Tensor(z)], [mu, mu], [targets, targets]).item()
+        assert double == pytest.approx(2 * single, rel=1e-10)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            layerwise_cmd([], [], [])
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            layerwise_cmd([Tensor(np.zeros((3, 2)))], [], [])

@@ -1,0 +1,43 @@
+"""Smoke tests for the beyond-the-paper experiment runners."""
+
+import pytest
+
+from repro.experiments import REGISTRY, get_experiment
+
+
+class TestRegistration:
+    @pytest.mark.parametrize(
+        "name", ["ext_backbones", "ext_privacy", "ext_partitioners", "ext_serveropt"]
+    )
+    def test_registered(self, name):
+        assert name in REGISTRY
+
+
+class TestExtPrivacy:
+    def test_runs_and_orders_epsilon(self, tmp_path):
+        res = get_experiment("ext_privacy")(
+            mode="smoke", out_dir=str(tmp_path), sigmas=(0.0, 1.0)
+        )
+        assert len(res.rows) == 2
+        sigma0, sigma1 = res.rows
+        assert sigma0[1] == "∞"  # no noise → no privacy guarantee
+        assert float(sigma1[1]) > 0
+        assert (tmp_path / "ext_privacy.csv").exists()
+
+
+class TestExtServerOpt:
+    def test_runs_all_optimizers(self, tmp_path):
+        res = get_experiment("ext_serveropt")(mode="smoke", out_dir=str(tmp_path))
+        names = [r[0] for r in res.rows]
+        assert names == ["fedavg", "fedavgm", "fedadam", "fedyogi"]
+        for r in res.rows:
+            assert 0.0 <= float(r[1]) <= 1.0
+
+
+class TestExtPartitioners:
+    def test_louvain_most_noniid(self, tmp_path):
+        res = get_experiment("ext_partitioners")(mode="smoke", out_dir=str(tmp_path))
+        js = {r[0]: float(r[1]) for r in res.rows}
+        assert js["louvain"] > js["random"]
+        # BFS sits between the two extremes (or at least above random).
+        assert js["bfs"] >= js["random"]

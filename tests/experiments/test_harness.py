@@ -1,0 +1,145 @@
+"""Tests for the experiment harness (registry, runner, CLI plumbing).
+
+Heavy experiment *content* runs in benchmarks/; here we test mechanics
+on minimal slices so the suite stays fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    MODEL_NAMES,
+    MODE_PARAMS,
+    ExperimentResult,
+    REGISTRY,
+    get_experiment,
+    make_trainer,
+    run_cell,
+)
+from repro.experiments.configs import paper_resolution
+from repro.experiments.runner import ModeParams
+from repro.graphs import load_dataset, louvain_partition
+
+TINY = ModeParams(scale=0.1, max_rounds=3, patience=10, seeds=1, hidden=8)
+
+
+class TestRegistry:
+    def test_all_tables_and_figures_registered(self):
+        expected = {
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "table7",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+        }
+        assert expected <= set(REGISTRY)
+
+    def test_get_unknown(self):
+        with pytest.raises(KeyError):
+            get_experiment("table99")
+
+    def test_double_registration_rejected(self):
+        from repro.experiments.registry import register
+
+        with pytest.raises(KeyError):
+            register("table2")(lambda: None)
+
+
+class TestModeParams:
+    def test_three_modes(self):
+        assert set(MODE_PARAMS) == {"smoke", "quick", "full"}
+
+    def test_full_is_paper_scale(self):
+        assert MODE_PARAMS["full"].scale == 1.0
+        assert MODE_PARAMS["full"].max_rounds == 1000
+        assert MODE_PARAMS["full"].patience == 200
+        assert MODE_PARAMS["full"].seeds == 5
+
+    def test_modes_ordered_by_cost(self):
+        assert MODE_PARAMS["smoke"].scale < MODE_PARAMS["quick"].scale < 1.0
+
+
+class TestMakeTrainer:
+    @pytest.fixture(scope="class")
+    def parts(self):
+        g = load_dataset("cora", seed=0, scale=0.1)
+        return louvain_partition(g, 3, np.random.default_rng(0)).parts
+
+    def test_every_model_name_constructs(self, parts):
+        for name in MODEL_NAMES:
+            tr = make_trainer(name, parts, TINY, seed=0)
+            assert tr.name in (name, "fedavg")
+
+    def test_fedomd_overrides(self, parts):
+        tr = make_trainer(
+            "fedomd", parts, TINY, seed=0, fedomd_overrides=dict(num_hidden=3, beta=0.5)
+        )
+        assert tr.omd_config.num_hidden == 3
+        assert tr.omd_config.beta == 0.5
+
+    def test_unknown_model(self, parts):
+        with pytest.raises(KeyError):
+            make_trainer("fedfoo", parts, TINY, seed=0)
+
+
+class TestRunCell:
+    def test_returns_mean_std_time(self):
+        mean, std, secs = run_cell("fedgcn", "cora", 3, TINY, seeds=[0])
+        assert 0 <= mean <= 1
+        assert std == 0.0  # single seed
+        assert secs > 0
+
+    def test_multi_seed_averages(self):
+        mean, std, _ = run_cell("fedmlp", "cora", 3, TINY, seeds=[0, 1])
+        assert 0 <= mean <= 1
+        assert std >= 0
+
+    def test_partition_cache_hit(self):
+        cache = {}
+        run_cell("fedmlp", "cora", 3, TINY, seeds=[0], partition_cache=cache)
+        assert len(cache) == 1
+        # Second model reuses the cached cut (same key).
+        run_cell("locgcn", "cora", 3, TINY, seeds=[0], partition_cache=cache)
+        assert len(cache) == 1
+
+
+class TestExperimentResult:
+    def test_add_render_save(self, tmp_path):
+        res = ExperimentResult(name="t", headers=["a", "b"], meta={"mode": "x"})
+        res.add(1, 2)
+        out = res.render()
+        assert "== t ==" in out and "mode=x" in out
+        path = res.save(str(tmp_path))
+        from repro.reporting import read_csv
+
+        assert read_csv(path)["a"] == ["1"]
+
+
+class TestConfigs:
+    def test_paper_resolutions(self):
+        assert paper_resolution("cora") == 1.0
+        assert paper_resolution("computer") == 20.0
+        assert paper_resolution("unknown-ds") == 1.0
+
+
+class TestSmokeExperimentsEndToEnd:
+    """Cheapest registered experiments run end-to-end."""
+
+    def test_table2(self, tmp_path):
+        res = get_experiment("table2")(mode="smoke", out_dir=str(tmp_path))
+        assert len(res.rows) == 5
+        assert (tmp_path / "table2.csv").exists()
+
+    def test_fig4_single_dataset(self, tmp_path):
+        res = get_experiment("fig4")(
+            mode="smoke", out_dir=str(tmp_path), datasets=["cora"], num_parties=3
+        )
+        assert len(res.rows) == 3
+        js_louvain = float(res.rows[0][3])
+        js_random = float(res.rows[0][4])
+        assert js_louvain > js_random

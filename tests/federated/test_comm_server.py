@@ -1,0 +1,182 @@
+"""Tests for the metered communicator and server aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.federated import CommStats, Communicator, fedavg, payload_bytes, uniform_fedavg
+from repro.federated.server import weighted_mean_statistics
+
+
+class TestPayloadBytes:
+    def test_ndarray(self):
+        assert payload_bytes(np.zeros((3, 4))) == 3 * 4 * 8
+
+    def test_float32_counts_smaller(self):
+        assert payload_bytes(np.zeros(4, dtype=np.float32)) == 16
+
+    def test_scalar(self):
+        assert payload_bytes(3.5) == 8
+        assert payload_bytes(7) == 8
+
+    def test_none_is_free(self):
+        assert payload_bytes(None) == 0
+
+    def test_nested_dict_list(self):
+        p = {"a": np.zeros(2), "b": [np.zeros(3), 1.0]}
+        assert payload_bytes(p) == 16 + 24 + 8
+
+    def test_string(self):
+        assert payload_bytes("abc") == 3
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            payload_bytes(object())
+
+
+class TestCommunicator:
+    def test_requires_clients(self):
+        with pytest.raises(ValueError):
+            Communicator(num_clients=0)
+
+    def test_broadcast_counts_per_client(self):
+        comm = Communicator(num_clients=3)
+        out = comm.broadcast(np.zeros(10))
+        assert len(out) == 3
+        assert comm.stats.downlink_bytes == 3 * 80
+        assert comm.stats.downlink_messages == 3
+
+    def test_broadcast_copies_are_independent(self):
+        comm = Communicator(num_clients=2)
+        a, b = comm.broadcast({"w": np.zeros(2)})
+        a["w"][0] = 5.0
+        assert b["w"][0] == 0.0
+
+    def test_gather_counts_uplink(self):
+        comm = Communicator(num_clients=2)
+        comm.gather([np.zeros(5), np.zeros(3)])
+        assert comm.stats.uplink_bytes == 40 + 24
+        assert comm.stats.uplink_messages == 2
+
+    def test_gather_wrong_count(self):
+        comm = Communicator(num_clients=2)
+        with pytest.raises(ValueError):
+            comm.gather([np.zeros(1)])
+
+    def test_gather_copies(self):
+        comm = Communicator(num_clients=1)
+        src = np.zeros(3)
+        (out,) = comm.gather([src])
+        src[0] = 7.0
+        assert out[0] == 0.0
+
+    def test_point_to_point(self):
+        comm = Communicator(num_clients=2)
+        comm.send_to_client(1, np.zeros(4))
+        comm.send_to_server(0, np.zeros(2))
+        assert comm.stats.downlink_bytes == 32
+        assert comm.stats.uplink_bytes == 16
+
+    def test_bad_client_id(self):
+        comm = Communicator(num_clients=2)
+        with pytest.raises(ValueError):
+            comm.send_to_client(2, 1.0)
+        with pytest.raises(ValueError):
+            comm.send_to_server(-1, 1.0)
+
+    def test_allgather_traffic(self):
+        comm = Communicator(num_clients=2)
+        out = comm.allgather([np.zeros(1), np.zeros(1)])
+        assert len(out) == 2 and len(out[0]) == 2
+        # uplink: 2×8; downlink: each client receives both payloads.
+        assert comm.stats.uplink_bytes == 16
+        assert comm.stats.downlink_bytes == 32
+
+    def test_round_counter(self):
+        comm = Communicator(num_clients=1)
+        comm.end_round()
+        comm.end_round()
+        assert comm.stats.rounds == 2
+
+    def test_stats_as_dict(self):
+        d = CommStats(uplink_bytes=5, downlink_bytes=7).as_dict()
+        assert d["total_bytes"] == 12
+
+
+class TestFedAvg:
+    def test_uniform_mean(self):
+        s1 = {"w": np.array([1.0, 2.0])}
+        s2 = {"w": np.array([3.0, 4.0])}
+        out = uniform_fedavg([s1, s2])
+        np.testing.assert_array_equal(out["w"], [2.0, 3.0])
+
+    def test_weighted(self):
+        s1 = {"w": np.array([0.0])}
+        s2 = {"w": np.array([10.0])}
+        out = fedavg([s1, s2], weights=[1, 4])
+        np.testing.assert_allclose(out["w"], [8.0])
+
+    def test_weights_normalized(self):
+        s = [{"w": np.array([2.0])}, {"w": np.array([4.0])}]
+        a = fedavg(s, weights=[1, 1])
+        b = fedavg(s, weights=[100, 100])
+        np.testing.assert_array_equal(a["w"], b["w"])
+
+    def test_single_state_identity(self):
+        s = {"w": np.array([1.0, 2.0]), "b": np.array([3.0])}
+        out = fedavg([s])
+        for k in s:
+            np.testing.assert_array_equal(out[k], s[k])
+
+    def test_result_independent_of_inputs(self):
+        s1 = {"w": np.array([1.0])}
+        out = fedavg([s1, {"w": np.array([3.0])}])
+        out["w"][0] = 99.0
+        assert s1["w"][0] == 1.0
+
+    def test_key_mismatch(self):
+        with pytest.raises(KeyError):
+            fedavg([{"a": np.zeros(1)}, {"b": np.zeros(1)}])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fedavg([{"a": np.zeros(1)}, {"a": np.zeros(2)}])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            fedavg([])
+
+    def test_bad_weights(self):
+        s = [{"w": np.zeros(1)}, {"w": np.zeros(1)}]
+        with pytest.raises(ValueError):
+            fedavg(s, weights=[1])
+        with pytest.raises(ValueError):
+            fedavg(s, weights=[-1, 2])
+        with pytest.raises(ValueError):
+            fedavg(s, weights=[0, 0])
+
+    def test_idempotent_on_equal_states(self):
+        s = {"w": np.array([[1.0, 2.0], [3.0, 4.0]])}
+        out = fedavg([s, s, s], weights=[1, 2, 3])
+        np.testing.assert_array_equal(out["w"], s["w"])
+
+
+class TestWeightedMeanStatistics:
+    def test_algorithm1_line25(self):
+        # M = Σ n_i M_i / Σ n_i with unequal party sizes.
+        m1, m2 = np.array([1.0, 1.0]), np.array([4.0, 4.0])
+        out = weighted_mean_statistics([m1, m2], [3, 1])
+        np.testing.assert_allclose(out, [1.75, 1.75])
+
+    def test_single_party(self):
+        out = weighted_mean_statistics([np.array([2.0])], [5])
+        np.testing.assert_array_equal(out, [2.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weighted_mean_statistics([], [])
+        with pytest.raises(ValueError):
+            weighted_mean_statistics([np.zeros(1)], [1, 2])
+        with pytest.raises(ValueError):
+            weighted_mean_statistics([np.zeros(1), np.zeros(2)], [1, 1])
+        with pytest.raises(ValueError):
+            weighted_mean_statistics([np.zeros(1)], [0])

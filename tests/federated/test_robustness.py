@@ -1,0 +1,129 @@
+"""Robustness features of the federated loop: client sampling, NaN guard."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.federated import Client, FederatedTrainer, TrainerConfig
+from repro.gnn import GCN
+from repro.graphs import load_dataset, louvain_partition
+
+
+@pytest.fixture(scope="module")
+def parts():
+    g = load_dataset("cora", seed=0, scale=0.2)
+    return louvain_partition(g, 5, np.random.default_rng(0)).parts
+
+
+class TestClientSampling:
+    def test_full_participation_default(self, parts):
+        tr = FederatedTrainer(parts, TrainerConfig(max_rounds=2, patience=10, hidden=8), seed=0)
+        tr._sample_participants()
+        assert len(tr.participating_clients()) == 5
+
+    def test_partial_participation_counts(self, parts):
+        cfg = TrainerConfig(max_rounds=2, patience=10, hidden=8, participation_rate=0.4)
+        tr = FederatedTrainer(parts, cfg, seed=0)
+        tr._sample_participants()
+        assert len(tr.participating_clients()) == 2
+
+    def test_at_least_one_participant(self, parts):
+        cfg = TrainerConfig(max_rounds=2, patience=10, hidden=8, participation_rate=0.01)
+        tr = FederatedTrainer(parts, cfg, seed=0)
+        tr._sample_participants()
+        assert len(tr.participating_clients()) == 1
+
+    def test_sampling_varies_per_round(self, parts):
+        cfg = TrainerConfig(max_rounds=2, patience=10, hidden=8, participation_rate=0.4)
+        tr = FederatedTrainer(parts, cfg, seed=0)
+        draws = set()
+        for _ in range(20):
+            tr._sample_participants()
+            draws.add(tuple(tr._participants))
+        assert len(draws) > 1
+
+    def test_partial_run_trains_and_reduces_traffic(self, parts):
+        full_cfg = TrainerConfig(max_rounds=6, patience=20, hidden=8)
+        part_cfg = TrainerConfig(max_rounds=6, patience=20, hidden=8, participation_rate=0.4)
+        full = FederatedTrainer(parts, full_cfg, seed=0)
+        partial = FederatedTrainer(parts, part_cfg, seed=0)
+        full.run()
+        partial.run()
+        assert partial.comm.stats.uplink_bytes < full.comm.stats.uplink_bytes
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(participation_rate=0.0)
+        with pytest.raises(ValueError):
+            TrainerConfig(participation_rate=1.5)
+
+    def test_unsampled_clients_untouched_within_round(self, parts):
+        cfg = TrainerConfig(max_rounds=1, patience=10, hidden=8, participation_rate=0.2)
+        tr = FederatedTrainer(parts, cfg, seed=0)
+        tr._sample_participants()
+        sampled = {c.cid for c in tr.participating_clients()}
+        idle = next(c for c in tr.clients if c.cid not in sampled)
+        before = idle.model.conv1.weight.data.copy()
+        for c in tr.participating_clients():
+            c.train_step(tr.local_loss)
+        np.testing.assert_array_equal(idle.model.conv1.weight.data, before)
+
+
+class TestNaNGuard:
+    def make_client(self, parts):
+        g = parts[0]
+        model = GCN(g.num_features, g.num_classes, hidden=8, rng=np.random.default_rng(0))
+        return Client(0, g, model)
+
+    def test_nan_loss_skips_update(self, parts):
+        c = self.make_client(parts)
+        before = c.model.conv1.weight.data.copy()
+
+        def bad_loss(client):
+            return client.ce_loss() * Tensor(float("nan"))
+
+        out = c.train_step(bad_loss, nan_guard=True)
+        assert np.isnan(out)
+        np.testing.assert_array_equal(c.model.conv1.weight.data, before)
+
+    def test_nan_without_guard_propagates(self, parts):
+        c = self.make_client(parts)
+
+        def bad_loss(client):
+            return client.ce_loss() * Tensor(float("nan"))
+
+        c.train_step(bad_loss, nan_guard=False)
+        assert np.isnan(c.model.conv1.weight.data).any() or np.isnan(
+            c.model.conv2.weight.data
+        ).any()
+
+    def test_finite_loss_updates_normally(self, parts):
+        c = self.make_client(parts)
+        before = c.model.conv1.weight.data.copy()
+        c.train_step(lambda cl: cl.ce_loss(), nan_guard=True)
+        assert np.abs(c.model.conv1.weight.data - before).sum() > 0
+
+    def test_guarded_training_survives_poisoned_round(self, parts):
+        # A trainer whose loss explodes on round 2 must keep training.
+        class Poisoned(FederatedTrainer):
+            def __init__(self, *a, **kw):
+                super().__init__(*a, **kw)
+                self._round = 0
+
+            def begin_round(self, round_idx):
+                self._round = round_idx
+
+            def local_loss(self, client):
+                loss = client.ce_loss()
+                if self._round == 2:
+                    return loss * Tensor(float("inf"))
+                return loss
+
+        cfg = TrainerConfig(max_rounds=5, patience=20, hidden=8, nan_guard=True)
+        tr = Poisoned(parts, cfg, seed=0)
+        hist = tr.run()
+        # Weights stayed finite through the poisoned round.
+        assert all(
+            np.isfinite(v).all() for c in tr.clients for v in c.get_state().values()
+        )
+        assert len(hist) == 5

@@ -1,0 +1,149 @@
+"""Tests for the model zoo: shapes, hidden outputs, trainability."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import no_grad
+from repro.gnn import GCN, MLP, SAGE, SGC, OrthoGCN
+from repro.graphs import load_dataset
+from repro.nn import Adam, accuracy, cross_entropy
+
+MODELS = {
+    "mlp": lambda g, rng: MLP(g.num_features, g.num_classes, hidden=16, rng=rng),
+    "gcn": lambda g, rng: GCN(g.num_features, g.num_classes, hidden=16, rng=rng),
+    "sgc": lambda g, rng: SGC(g.num_features, g.num_classes, rng=rng),
+    "sage": lambda g, rng: SAGE(g.num_features, g.num_classes, hidden=16, rng=rng),
+    "ortho": lambda g, rng: OrthoGCN(g.num_features, g.num_classes, hidden=16, rng=rng),
+}
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("cora", seed=0, scale=0.15)
+
+
+@pytest.mark.parametrize("name", sorted(MODELS))
+def test_logit_shape(graph, name):
+    model = MODELS[name](graph, np.random.default_rng(0))
+    out = model(graph)
+    assert out.shape == (graph.num_nodes, graph.num_classes)
+
+
+@pytest.mark.parametrize("name", sorted(MODELS))
+def test_forward_with_hidden_consistent(graph, name):
+    model = MODELS[name](graph, np.random.default_rng(0)).eval()
+    with no_grad():
+        logits1, hidden = model.forward_with_hidden(graph)
+        logits2 = model(graph)
+    np.testing.assert_allclose(logits1.data, logits2.data)
+    for h in hidden:
+        assert h.shape[0] == graph.num_nodes
+
+
+@pytest.mark.parametrize("name", sorted(MODELS))
+def test_short_training_reduces_loss(graph, name):
+    model = MODELS[name](graph, np.random.default_rng(1))
+    opt = Adam(model.parameters(), lr=0.01)
+    labels = graph.y
+
+    def loss_value():
+        model.eval()
+        with no_grad():
+            return cross_entropy(model(graph), labels, graph.train_mask).item()
+
+    before = loss_value()
+    model.train()
+    for _ in range(15):
+        opt.zero_grad()
+        cross_entropy(model(graph), labels, graph.train_mask).backward()
+        opt.step()
+    assert loss_value() < before
+
+
+def test_gcn_beats_chance_quickly(graph):
+    model = GCN(graph.num_features, graph.num_classes, hidden=32, rng=np.random.default_rng(2))
+    opt = Adam(model.parameters(), lr=0.01, weight_decay=1e-4)
+    model.train()
+    for _ in range(60):
+        opt.zero_grad()
+        cross_entropy(model(graph), graph.y, graph.train_mask).backward()
+        opt.step()
+    model.eval()
+    with no_grad():
+        acc = accuracy(model(graph), graph.y, graph.test_mask)
+    assert acc > 1.5 / graph.num_classes
+
+
+class TestOrthoGCNSpecifics:
+    def test_table1_structure_default(self, graph):
+        m = OrthoGCN(graph.num_features, graph.num_classes, hidden=16, num_hidden=2)
+        # 2 hidden layers => 1 OrthoConv between the two GCNConvs.
+        assert len(m.ortho_layers) == 1
+
+    def test_depth_scaling(self, graph):
+        m = OrthoGCN(graph.num_features, graph.num_classes, hidden=8, num_hidden=10)
+        assert len(m.ortho_layers) == 9
+
+    def test_hidden_count_matches_depth(self, graph):
+        m = OrthoGCN(graph.num_features, graph.num_classes, hidden=8, num_hidden=4).eval()
+        with no_grad():
+            _, hidden = m.forward_with_hidden(graph)
+        assert len(hidden) == 4
+
+    def test_hidden_are_nonnegative(self, graph):
+        m = OrthoGCN(graph.num_features, graph.num_classes, hidden=8).eval()
+        with no_grad():
+            _, hidden = m.forward_with_hidden(graph)
+        for h in hidden:
+            assert h.data.min() >= 0.0  # post-ReLU
+
+    def test_ortho_weights_list(self, graph):
+        m = OrthoGCN(graph.num_features, graph.num_classes, hidden=8, num_hidden=3)
+        ws = m.ortho_weights()
+        assert len(ws) == 2
+        assert all(w.shape == (8, 8) for w in ws)
+
+    def test_project_orthogonal_all_layers(self, graph):
+        m = OrthoGCN(
+            graph.num_features, graph.num_classes, hidden=8, num_hidden=4,
+            rng=np.random.default_rng(7),
+        )
+        rng = np.random.default_rng(8)
+        for layer in m.ortho_layers:
+            # Perturb off the manifold but keep the matrix well-conditioned.
+            layer.weight.data += 0.1 * rng.standard_normal((8, 8))
+        m.project_orthogonal(iterations=30)
+        for layer in m.ortho_layers:
+            assert layer.orthogonality_residual() < 1e-6
+
+    def test_invalid_depth(self, graph):
+        with pytest.raises(ValueError):
+            OrthoGCN(4, 2, num_hidden=0)
+
+    def test_parameters_include_all_layers(self, graph):
+        m = OrthoGCN(graph.num_features, graph.num_classes, hidden=8, num_hidden=3)
+        names = {n for n, _ in m.named_parameters()}
+        assert "conv_in.weight" in names
+        assert "ortho0.weight" in names and "ortho1.weight" in names
+        assert "conv_out.weight" in names
+
+    def test_seeded_models_identical(self, graph):
+        a = OrthoGCN(graph.num_features, graph.num_classes, rng=np.random.default_rng(5))
+        b = OrthoGCN(graph.num_features, graph.num_classes, rng=np.random.default_rng(5))
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+
+class TestSGCSpecifics:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            SGC(4, 2, k=0)
+
+    def test_linear_in_features(self, graph):
+        # SGC logits are linear in X: f(2X) == 2 f(X) when bias is zero.
+        m = SGC(graph.num_features, graph.num_classes, rng=np.random.default_rng(0))
+        m.fc.bias.data[...] = 0.0
+        g2 = graph.copy()
+        g2.x = 2.0 * g2.x
+        with no_grad():
+            np.testing.assert_allclose(m(g2).data, 2 * m(graph).data, atol=1e-9)

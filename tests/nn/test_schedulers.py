@@ -1,0 +1,123 @@
+"""Tests for LR schedulers and gradient clipping."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import (
+    Adam,
+    CosineAnnealingLR,
+    SGD,
+    StepLR,
+    WarmupLR,
+    clip_grad_norm,
+)
+from repro.nn.module import Parameter
+
+
+def make_opt(lr=0.1):
+    return SGD([Parameter(np.ones(3))], lr=lr)
+
+
+class TestStepLR:
+    def test_decays_at_boundaries(self):
+        opt = make_opt(0.1)
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        lrs = [sched.step() for _ in range(4)]
+        assert lrs == pytest.approx([0.1, 0.05, 0.05, 0.025])
+
+    def test_gamma_one_constant(self):
+        opt = make_opt(0.1)
+        sched = StepLR(opt, step_size=1, gamma=1.0)
+        for _ in range(5):
+            assert sched.step() == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepLR(make_opt(), step_size=0)
+        with pytest.raises(ValueError):
+            StepLR(make_opt(), step_size=1, gamma=0.0)
+
+
+class TestCosine:
+    def test_endpoints(self):
+        opt = make_opt(1.0)
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.1)
+        mid = [sched.step() for _ in range(5)][-1]
+        end = [sched.step() for _ in range(5)][-1]
+        assert end == pytest.approx(0.1, abs=1e-9)
+        assert 0.1 < mid < 1.0
+
+    def test_monotone_decreasing(self):
+        opt = make_opt(1.0)
+        sched = CosineAnnealingLR(opt, t_max=20)
+        lrs = [sched.step() for _ in range(20)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_clamps_past_t_max(self):
+        opt = make_opt(1.0)
+        sched = CosineAnnealingLR(opt, t_max=3)
+        for _ in range(3):
+            sched.step()
+        assert sched.step() == pytest.approx(0.0, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(make_opt(), t_max=0)
+
+
+class TestWarmup:
+    def test_linear_ramp(self):
+        opt = make_opt(0.2)
+        sched = WarmupLR(opt, warmup_steps=4)
+        lrs = [sched.step() for _ in range(6)]
+        assert lrs == pytest.approx([0.05, 0.1, 0.15, 0.2, 0.2, 0.2])
+
+    def test_mutates_optimizer(self):
+        opt = make_opt(0.2)
+        WarmupLR(opt, warmup_steps=2).step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WarmupLR(make_opt(), warmup_steps=0)
+
+
+class TestClipGradNorm:
+    def test_returns_preclip_norm(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 3.0)  # norm = 6
+        assert clip_grad_norm([p], 100.0) == pytest.approx(6.0)
+        np.testing.assert_array_equal(p.grad, np.full(4, 3.0))  # below cap: untouched
+
+    def test_clips_to_max(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 3.0)
+        clip_grad_norm([p], 1.0)
+        assert math.sqrt(float((p.grad**2).sum())) == pytest.approx(1.0)
+
+    def test_global_norm_across_params(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        a.grad, b.grad = np.array([3.0]), np.array([4.0])  # global norm 5
+        clip_grad_norm([a, b], 1.0)
+        # Scaled jointly: direction preserved.
+        assert a.grad[0] / b.grad[0] == pytest.approx(0.75)
+
+    def test_skips_gradless(self):
+        p = Parameter(np.zeros(2))
+        assert clip_grad_norm([p], 1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], 0.0)
+
+    def test_with_training_step(self):
+        # Clipping integrates with a real backward pass.
+        p = Parameter(np.array([10.0]))
+        (p * p).sum().backward()
+        norm = clip_grad_norm([p], 5.0)
+        assert norm == pytest.approx(20.0)
+        Adam([p], lr=0.1).step()
+        assert np.isfinite(p.data).all()

@@ -1,0 +1,102 @@
+"""Tests for npz model checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import GCN, OrthoGCN
+from repro.nn.serialize import load_checkpoint, load_state, save_checkpoint, save_state
+
+
+def make_model(seed=0):
+    return GCN(6, 3, hidden=8, rng=np.random.default_rng(seed))
+
+
+class TestStateRoundTrip:
+    def test_save_load(self, tmp_path):
+        m1, m2 = make_model(1), make_model(2)
+        path = str(tmp_path / "m.npz")
+        save_state(m1, path)
+        load_state(m2, path)
+        for (_, a), (_, b) in zip(m1.named_parameters(), m2.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_extension_added(self, tmp_path):
+        m = make_model()
+        out = save_state(m, str(tmp_path / "noext"))
+        assert out.endswith(".npz")
+        load_state(make_model(3), str(tmp_path / "noext"))
+
+    def test_strict_mismatch(self, tmp_path):
+        m = make_model()
+        path = str(tmp_path / "m.npz")
+        save_state(m, path)
+        other = OrthoGCN(6, 3, hidden=8, rng=np.random.default_rng(0))
+        with pytest.raises(KeyError):
+            load_state(other, path)
+
+    def test_nonstrict_partial(self, tmp_path):
+        m = make_model()
+        path = str(tmp_path / "m.npz")
+        save_state(m, path)
+        other = OrthoGCN(6, 3, hidden=8, rng=np.random.default_rng(0))
+        load_state(other, path, strict=False)  # loads the shared conv keys
+        # Unmatched ortho weights untouched, shared names equal where shapes agree.
+
+
+class TestCheckpoint:
+    def test_metadata_round_trip(self, tmp_path):
+        m = make_model()
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(m, path, {"round": 7, "acc": 0.81, "tag": "best"})
+        _, meta = load_checkpoint(make_model(9), path)
+        assert meta == {"round": 7, "acc": 0.81, "tag": "best"}
+
+    def test_empty_metadata(self, tmp_path):
+        m = make_model()
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(m, path)
+        _, meta = load_checkpoint(make_model(9), path)
+        assert meta == {}
+
+    def test_state_restored_with_metadata(self, tmp_path):
+        m1 = make_model(4)
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(m1, path, {"x": 1})
+        m2, _ = load_checkpoint(make_model(5), path)
+        np.testing.assert_array_equal(m1.conv1.weight.data, m2.conv1.weight.data)
+
+
+class TestTrainCLI:
+    def test_smoke_run(self, tmp_path, capsys):
+        from repro.train import main
+
+        rc = main(
+            [
+                "--model", "fedgcn", "--dataset", "cora", "--parties", "3",
+                "--rounds", "3", "--patience", "5", "--hidden", "8",
+                "--scale", "0.1", "--curve",
+                "--save-model", str(tmp_path / "model.npz"),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "test accuracy" in out
+        assert (tmp_path / "model.npz").exists()
+
+    def test_fedomd_overrides(self, capsys):
+        from repro.train import main
+
+        rc = main(
+            [
+                "--model", "fedomd", "--dataset", "cora", "--parties", "3",
+                "--rounds", "2", "--patience", "5", "--hidden", "8",
+                "--scale", "0.1", "--beta", "0.5", "--num-hidden", "3",
+            ]
+        )
+        assert rc == 0
+
+    def test_rejects_unknown_model(self):
+        from repro.train import main
+
+        with pytest.raises(SystemExit):
+            main(["--model", "nope"])

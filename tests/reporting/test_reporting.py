@@ -1,0 +1,95 @@
+"""Tests for ASCII tables, CSV round-trips, and sparklines."""
+
+import numpy as np
+import pytest
+
+from repro.reporting import (
+    ascii_table,
+    format_acc,
+    read_csv,
+    render_series,
+    sparkline,
+    write_csv,
+)
+
+
+class TestFormatAcc:
+    def test_paper_style(self):
+        assert format_acc(0.5435, 0.0586) == "54.35 (±5.86)"
+
+    def test_no_std(self):
+        assert format_acc(0.5) == "50.00"
+
+    def test_bold(self):
+        assert format_acc(0.5, bold=True) == "*50.00*"
+
+
+class TestAsciiTable:
+    def test_contains_all_cells(self):
+        out = ascii_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        for cell in ["a", "bb", "1", "2", "333", "4"]:
+            assert cell in out
+
+    def test_title(self):
+        out = ascii_table(["x"], [["1"]], title="Hello")
+        assert out.splitlines()[0] == "Hello"
+
+    def test_alignment_consistent_width(self):
+        out = ascii_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = [l for l in out.splitlines() if l.startswith("|")]
+        assert len({len(l) for l in lines}) == 1
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a", "b"], [["only-one"]])
+
+    def test_non_string_cells(self):
+        out = ascii_table(["n"], [[42]])
+        assert "42" in out
+
+
+class TestCSV:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "sub" / "t.csv")
+        write_csv(path, ["a", "b"], [[1, "x"], [2, "y"]])
+        cols = read_csv(path)
+        assert cols["a"] == ["1", "2"]
+        assert cols["b"] == ["x", "y"]
+
+    def test_creates_directories(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "f.csv")
+        assert write_csv(path, ["h"], [["v"]]) == path
+
+    def test_row_mismatch(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(str(tmp_path / "x.csv"), ["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self, tmp_path):
+        path = str(tmp_path / "e.csv")
+        write_csv(path, ["a"], [])
+        assert read_csv(path) == {"a": []}
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        s = sparkline([0, 1, 2, 3])
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_constant_series(self):
+        s = sparkline([5, 5, 5])
+        assert len(s) == 3
+
+    def test_nan_renders_space(self):
+        s = sparkline([0.0, float("nan"), 1.0])
+        assert s[1] == " "
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_all_nan(self):
+        assert sparkline([float("nan")] * 3) == "   "
+
+    def test_render_series_downsamples(self):
+        out = render_series("acc", range(500), np.linspace(0, 1, 500), width=40)
+        assert "acc" in out
+        assert "[0.000..1.000]" in out

@@ -1,0 +1,133 @@
+"""Hypothesis property tests on system-level invariants.
+
+Complements tests/autograd/test_properties.py (op algebra) with
+higher-level invariants: FedAvg affine properties, partition coverage,
+CMD pseudo-metric behaviour, and moment-exchange exactness under
+arbitrary party splits.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.cmd import cmd_distance_arrays
+from repro.core.exchange import MomentExchange, pooled_central_moments
+from repro.federated import Communicator, fedavg
+from repro.federated.server import weighted_mean_statistics
+
+finite = st.floats(min_value=-5, max_value=5, allow_nan=False, allow_infinity=False)
+
+
+def state_arrays(shape=(3, 2)):
+    return hnp.arrays(np.float64, shape, elements=finite)
+
+
+@settings(max_examples=40, deadline=None)
+@given(state_arrays(), state_arrays())
+def test_fedavg_between_extremes(a, b):
+    # Every coordinate of the average lies between the two inputs.
+    out = fedavg([{"w": a}, {"w": b}])["w"]
+    lo, hi = np.minimum(a, b), np.maximum(a, b)
+    assert np.all(out >= lo - 1e-12) and np.all(out <= hi + 1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(state_arrays(), state_arrays(), st.floats(min_value=0.01, max_value=0.99))
+def test_fedavg_weighted_interpolates(a, b, lam):
+    out = fedavg([{"w": a}, {"w": b}], weights=[lam, 1 - lam])["w"]
+    np.testing.assert_allclose(out, lam * a + (1 - lam) * b, atol=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(state_arrays())
+def test_fedavg_idempotent(a):
+    out = fedavg([{"w": a}] * 4, weights=[1, 2, 3, 4])["w"]
+    np.testing.assert_allclose(out, a, atol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(state_arrays(shape=(4,)), st.integers(min_value=1, max_value=50)),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_weighted_mean_bounded(pairs):
+    values = [v for v, _ in pairs]
+    counts = [c for _, c in pairs]
+    out = weighted_mean_statistics(values, counts)
+    stacked = np.stack(values)
+    assert np.all(out >= stacked.min(axis=0) - 1e-12)
+    assert np.all(out <= stacked.max(axis=0) + 1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=2, max_value=5),
+    st.randoms(use_true_random=False),
+)
+def test_exchange_matches_pooled_for_random_splits(num_clients, dim, pyrandom):
+    rng = np.random.default_rng(pyrandom.randint(0, 10_000))
+    hidden = [
+        [rng.standard_normal((rng.integers(3, 20), dim))] for _ in range(num_clients)
+    ]
+    counts = [h[0].shape[0] for h in hidden]
+    got = MomentExchange(Communicator(num_clients=num_clients)).run(hidden, counts)
+    want = pooled_central_moments(hidden)
+    np.testing.assert_allclose(got.means[0], want.means[0], atol=1e-10)
+    for oi in range(4):
+        np.testing.assert_allclose(got.moments[0][oi], want.moments[0][oi], atol=1e-9)
+
+
+samples = hnp.arrays(
+    np.float64, (12, 3), elements=st.floats(min_value=-2, max_value=2, allow_nan=False)
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(samples)
+def test_cmd_self_distance_zero(z):
+    assert cmd_distance_arrays(z, z.copy()) <= 1e-10
+
+
+@settings(max_examples=40, deadline=None)
+@given(samples, samples)
+def test_cmd_symmetric(z1, z2):
+    d12 = cmd_distance_arrays(z1, z2)
+    d21 = cmd_distance_arrays(z2, z1)
+    assert d12 == d21
+
+
+@settings(max_examples=40, deadline=None)
+@given(samples, samples)
+def test_cmd_nonnegative(z1, z2):
+    assert cmd_distance_arrays(z1, z2) >= 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(samples, st.floats(min_value=-1.0, max_value=1.0, allow_nan=False))
+def test_cmd_translation_moves_only_first_order(z, shift):
+    # Shifting one sample changes CMD by exactly the mean term: higher
+    # central moments are translation-invariant.
+    base = cmd_distance_arrays(z, z.copy())
+    shifted = cmd_distance_arrays(z, z + shift)
+    expected_mean_term = np.linalg.norm(np.full(z.shape[1], shift))
+    assert shifted == np.float64(base) + np.float64(0) or abs(
+        shifted - expected_mean_term
+    ) < 1e-8 + base
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=6), st.randoms(use_true_random=False))
+def test_partition_is_exact_cover(num_parties, pyrandom):
+    from repro.graphs import load_dataset, random_partition
+
+    g = load_dataset("cora", seed=0, scale=0.1)
+    rng = np.random.default_rng(pyrandom.randint(0, 10_000))
+    pr = random_partition(g, num_parties, rng)
+    all_nodes = np.concatenate(pr.node_maps)
+    assert len(all_nodes) == g.num_nodes
+    assert len(np.unique(all_nodes)) == g.num_nodes
+    assert sum(pr.sizes()) == g.num_nodes

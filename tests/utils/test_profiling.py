@@ -1,0 +1,70 @@
+"""Tests for the timing utilities."""
+
+import time
+
+import pytest
+
+from repro.utils import Timer, profile_sections
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t("a"):
+            time.sleep(0.01)
+        with t("a"):
+            time.sleep(0.01)
+        assert t.total("a") >= 0.02
+        assert t.count("a") == 2
+
+    def test_mean(self):
+        t = Timer()
+        with t("x"):
+            pass
+        with t("x"):
+            pass
+        assert t.mean("x") == pytest.approx(t.total("x") / 2)
+
+    def test_mean_of_unknown_is_zero(self):
+        assert Timer().mean("ghost") == 0.0
+
+    def test_labels_sorted(self):
+        t = Timer()
+        with t("b"):
+            pass
+        with t("a"):
+            pass
+        assert t.labels() == ["a", "b"]
+
+    def test_requires_label(self):
+        t = Timer()
+        with pytest.raises(RuntimeError):
+            with t:
+                pass
+
+    def test_reset(self):
+        t = Timer()
+        with t("a"):
+            pass
+        t.reset()
+        assert t.labels() == []
+
+    def test_exception_still_recorded(self):
+        t = Timer()
+        with pytest.raises(ValueError):
+            with t("boom"):
+                raise ValueError
+        assert t.count("boom") == 1
+
+
+class TestProfileSections:
+    def test_renders_table(self):
+        t = Timer()
+        with t("fast"):
+            pass
+        with t("slow"):
+            time.sleep(0.01)
+        out = profile_sections(t)
+        assert "fast" in out and "slow" in out
+        # Sorted by total time: slow first.
+        assert out.index("slow") < out.index("fast")
