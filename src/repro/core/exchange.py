@@ -24,7 +24,7 @@ communication-cost claim (statistics ≪ model weights) is measurable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -55,30 +55,56 @@ class MomentExchange:
         self.comm = comm
         self.orders = tuple(orders)
 
+    def _perturb_statistic(self, stat: np.ndarray, n_i: float) -> np.ndarray:
+        """Hook applied to each statistic as it leaves a client.
+
+        Identity here; privacy extensions override it to inject
+        mechanism noise (sensitivity scales with 1/n_i) without
+        re-implementing the protocol.
+        """
+        return stat
+
     def run(
         self,
         client_hidden: Sequence[Sequence[np.ndarray]],
         client_counts: Sequence[int],
+        client_ids: Optional[Sequence[int]] = None,
     ) -> GlobalMoments:
-        """Execute both rounds.
+        """Execute both rounds, possibly over a participant subset.
 
         Parameters
         ----------
         client_hidden:
             ``client_hidden[i][l]`` is the (n_i, d_l) *detached* hidden
-            activation of layer ``l`` at client ``i``.
+            activation of layer ``l`` at participant ``i``.
         client_counts:
-            n_i per client (the weights of line 25).
+            n_i per participant (the weights of line 25; they renormalize
+            over whoever participates, so a subset yields the pooled
+            moments of exactly that subset's activations).
+        client_ids:
+            Communicator ids of the participants (default ``0..m-1``,
+            i.e. full participation).  With client sampling
+            (``participation_rate < 1``) only sampled parties upload
+            statistics and receive the global summary — unsampled
+            parties move zero bytes through the metered channel.
 
         Returns
         -------
-        The :class:`GlobalMoments` each client receives (one broadcast).
+        The :class:`GlobalMoments` each participant receives.
         """
         m = len(client_hidden)
-        if m != self.comm.num_clients:
-            raise ValueError("one hidden list per client required")
+        if client_ids is None:
+            client_ids = list(range(m))
+        if len(client_ids) != m:
+            raise ValueError("one communicator id per participant required")
+        if len(set(client_ids)) != m:
+            raise ValueError("participant ids must be distinct")
+        if m < 1 or m > self.comm.num_clients:
+            raise ValueError(
+                f"{m} participants cannot exceed {self.comm.num_clients} clients"
+            )
         if len(client_counts) != m:
-            raise ValueError("one count per client required")
+            raise ValueError("one count per participant required")
         num_layers = len(client_hidden[0])
         if num_layers == 0:
             raise ValueError("clients have no hidden layers")
@@ -87,29 +113,37 @@ class MomentExchange:
                 raise ValueError("clients disagree on layer count")
 
         # ---- round 1: upload local means + counts, download global means.
-        uploads = []
-        for hidden, n_i in zip(client_hidden, client_counts):
-            means = [np.asarray(z).mean(axis=0) for z in hidden]
-            uploads.append({"means": means, "n": float(n_i)})
-        received = self.comm.gather(uploads)
+        received = []
+        for cid, hidden, n_i in zip(client_ids, client_hidden, client_counts):
+            means = [
+                self._perturb_statistic(np.asarray(z).mean(axis=0), float(n_i))
+                for z in hidden
+            ]
+            received.append(self.comm.send_to_server(cid, {"means": means, "n": float(n_i)}))
         global_means = [
             weighted_mean_statistics(
                 [r["means"][l] for r in received], [r["n"] for r in received]
             )
             for l in range(num_layers)
         ]
-        means_per_client = self.comm.broadcast(global_means)
+        means_per_client = [self.comm.send_to_client(cid, global_means) for cid in client_ids]
 
         # ---- round 2: moments about the global mean, download averages.
-        uploads2 = []
-        for i, (hidden, n_i) in enumerate(zip(client_hidden, client_counts)):
+        received2 = []
+        for i, (cid, hidden, n_i) in enumerate(zip(client_ids, client_hidden, client_counts)):
             g_means = means_per_client[i]
             layer_moms = []
             for l, z in enumerate(hidden):
                 centered = np.asarray(z, dtype=np.float64) - g_means[l]
-                layer_moms.append([(centered**j).mean(axis=0) for j in self.orders])
-            uploads2.append({"moments": layer_moms, "n": float(n_i)})
-        received2 = self.comm.gather(uploads2)
+                layer_moms.append(
+                    [
+                        self._perturb_statistic((centered**j).mean(axis=0), float(n_i))
+                        for j in self.orders
+                    ]
+                )
+            received2.append(
+                self.comm.send_to_server(cid, {"moments": layer_moms, "n": float(n_i)})
+            )
         global_moments: List[List[np.ndarray]] = []
         for l in range(num_layers):
             per_order = []
@@ -121,8 +155,9 @@ class MomentExchange:
                     )
                 )
             global_moments.append(per_order)
-        # One broadcast delivers the final IID summary to every client.
-        self.comm.broadcast(global_moments)
+        # The final IID summary goes back to every participant.
+        for cid in client_ids:
+            self.comm.send_to_client(cid, global_moments)
 
         return GlobalMoments(means=global_means, moments=global_moments, orders=self.orders)
 

@@ -29,6 +29,7 @@ from repro.core.cmd import layerwise_cmd
 from repro.core.exchange import GlobalMoments, MomentExchange
 from repro.core.moments import empirical_activation_range
 from repro.federated.client import Client
+from repro.federated.comm import CommStats
 from repro.federated.trainer import FederatedTrainer, TrainerConfig
 from repro.graphs.data import Graph
 from repro.nn import orthogonality_loss
@@ -90,6 +91,8 @@ class FedOMDTrainer(FederatedTrainer):
         self.exchange = MomentExchange(self.comm, orders=self.omd_config.orders)
         self._global_moments: Optional[GlobalMoments] = None
         self._range: tuple = self.omd_config.activation_range or (0.0, 1.0)
+        self._last_exchange_traffic: Optional[CommStats] = None
+        self._last_exchange_participants: int = len(self.clients)
 
     # ------------------------------------------------------------------
     def build_model(self, graph: Graph, rng: np.random.Generator) -> Module:
@@ -102,21 +105,36 @@ class FedOMDTrainer(FederatedTrainer):
         )
 
     def begin_round(self, round_idx: int) -> None:
-        """Run the 2-round moment exchange before local training."""
+        """Run the 2-round moment exchange before local training.
+
+        Only the round's *participants* compute and upload statistics:
+        with client sampling, unsampled parties are offline — they must
+        not be billed on the metered channel nor skew the "IID" moments
+        toward data that is not training this round.  Their forward
+        passes run through the :class:`ClientExecutor` (read-only model
+        + private graph per client, so they parallelize cleanly).
+        """
         if not self.omd_config.use_cmd:
             return
-        client_hidden: List[List[np.ndarray]] = []
-        counts: List[int] = []
-        for c in self.clients:
+        participants = self.participating_clients()
+
+        def detached_hidden(c: Client) -> List[np.ndarray]:
             c.model.eval()
             with no_grad():
                 _, hidden = c.model.forward_with_hidden(c.graph)
-            client_hidden.append([h.data for h in hidden])
-            counts.append(c.num_nodes)
+            return [h.data for h in hidden]
+
+        client_hidden = self.executor.map(detached_hidden, participants)
+        counts = [c.num_nodes for c in participants]
         if self.omd_config.activation_range is None:
             flat = [z for hs in client_hidden for z in hs]
             self._range = empirical_activation_range(flat)
-        self._global_moments = self.exchange.run(client_hidden, counts)
+        before = self.comm.snapshot()
+        self._global_moments = self.exchange.run(
+            client_hidden, counts, client_ids=[c.cid for c in participants]
+        )
+        self._last_exchange_traffic = self.comm.snapshot() - before
+        self._last_exchange_participants = len(participants)
 
     def local_loss(self, client: Client) -> Tensor:
         """Eq. 12: CE + α·ortho + β·CMD."""
@@ -143,7 +161,10 @@ class FedOMDTrainer(FederatedTrainer):
 
     def after_local_training(self, round_idx: int) -> None:
         if self.omd_config.hard_orthogonal:
-            for c in self.clients:
+            # Only participants trained this round; projecting an
+            # unsampled (offline) party would mutate state the server
+            # never saw and de-sync it from its own last download.
+            for c in self.participating_clients():
                 c.model.project_orthogonal()  # type: ignore[attr-defined]
 
     # ------------------------------------------------------------------
@@ -151,18 +172,34 @@ class FedOMDTrainer(FederatedTrainer):
         """Traffic split: how much of the round was statistics vs weights.
 
         Supports the paper's claim that the CMD exchange adds negligible
-        communication (§5.2, Table 3 discussion).
+        communication (§5.2, Table 3 discussion).  The headline number is
+        *measured*: :meth:`begin_round` snapshots the metered
+        :class:`CommStats` around the exchange, so the report is exactly
+        what the channel moved (and reflects partial participation).
+        Before any exchange has run it falls back to the closed-form
+        estimate; ``tests/core`` asserts formula == measured.
         """
         model_bytes = sum(v.nbytes for v in self.clients[0].get_state().values())
-        m = len(self.clients)
-        per_round_weights = 2 * m * model_bytes  # gather + broadcast
+        m = self._last_exchange_participants
+        # m participant uploads + one broadcast to all clients.
+        per_round_weights = (m + len(self.clients)) * model_bytes
         d_h = self.config.hidden
         l = self.omd_config.num_hidden
         k = len(self.omd_config.orders)
-        # Round 1: M·(L·d_h + 1) up, M·L·d_h down; round 2 scales by K.
+        # Round 1: m·(L·d_h + 1) up, m·L·d_h down; round 2 scales by K.
         stats_up = m * (l * d_h + 1) * 8 + m * (l * d_h * k + 1) * 8
         stats_down = m * l * d_h * 8 + m * l * d_h * k * 8
+        measured = self._last_exchange_traffic
         return {
             "model_bytes_per_round": per_round_weights,
             "statistics_bytes_per_round_approx": stats_up + stats_down,
+            "statistics_bytes_per_round_measured": (
+                measured.total_bytes if measured is not None else stats_up + stats_down
+            ),
+            "statistics_uplink_bytes_measured": (
+                measured.uplink_bytes if measured is not None else stats_up
+            ),
+            "statistics_downlink_bytes_measured": (
+                measured.downlink_bytes if measured is not None else stats_down
+            ),
         }

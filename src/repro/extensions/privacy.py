@@ -10,11 +10,9 @@ measure (accuracy vs σ ablation in ``benchmarks/test_bench_ablation``).
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import numpy as np
 
-from repro.core.exchange import GlobalMoments, MomentExchange
+from repro.core.exchange import MomentExchange
 from repro.federated.comm import Communicator
 
 
@@ -60,59 +58,8 @@ class NoisyMomentExchange(MomentExchange):
         sensitivity = self.value_bound / max(n_i, 1.0)
         return self._rng.normal(0.0, self.sigma * sensitivity, size=shape)
 
-    def run(
-        self,
-        client_hidden: Sequence[Sequence[np.ndarray]],
-        client_counts: Sequence[int],
-    ) -> GlobalMoments:
-        # Mirrors the parent protocol with noise injected at the point
-        # each statistic leaves a client (where a DP deployment adds it).
-        m = len(client_hidden)
-        if m != self.comm.num_clients:
-            raise ValueError("one hidden list per client required")
-        num_layers = len(client_hidden[0])
-        if num_layers == 0:
-            raise ValueError("clients have no hidden layers")
-
-        from repro.federated.server import weighted_mean_statistics
-
-        uploads = []
-        for hidden, n_i in zip(client_hidden, client_counts):
-            means = [
-                np.asarray(z).mean(axis=0) + self._noise((np.asarray(z).shape[1],), n_i)
-                for z in hidden
-            ]
-            uploads.append({"means": means, "n": float(n_i)})
-        received = self.comm.gather(uploads)
-        global_means = [
-            weighted_mean_statistics([r["means"][l] for r in received], [r["n"] for r in received])
-            for l in range(num_layers)
-        ]
-        means_per_client = self.comm.broadcast(global_means)
-
-        uploads2 = []
-        for i, (hidden, n_i) in enumerate(zip(client_hidden, client_counts)):
-            g_means = means_per_client[i]
-            layer_moms = []
-            for l, z in enumerate(hidden):
-                centered = np.asarray(z, dtype=np.float64) - g_means[l]
-                layer_moms.append(
-                    [
-                        (centered**j).mean(axis=0) + self._noise((centered.shape[1],), n_i)
-                        for j in self.orders
-                    ]
-                )
-            uploads2.append({"moments": layer_moms, "n": float(n_i)})
-        received2 = self.comm.gather(uploads2)
-        global_moments = []
-        for l in range(num_layers):
-            per_order = []
-            for oi in range(len(self.orders)):
-                per_order.append(
-                    weighted_mean_statistics(
-                        [r["moments"][l][oi] for r in received2], [r["n"] for r in received2]
-                    )
-                )
-            global_moments.append(per_order)
-        self.comm.broadcast(global_moments)
-        return GlobalMoments(means=global_means, moments=global_moments, orders=self.orders)
+    def _perturb_statistic(self, stat: np.ndarray, n_i: float) -> np.ndarray:
+        # Noise is injected exactly where a DP deployment adds it: the
+        # point each statistic leaves a client.  The protocol itself
+        # (including participant-subset support) is inherited.
+        return stat + self._noise(stat.shape, n_i)

@@ -61,40 +61,52 @@ class SecureMomentExchange(MomentExchange):
         self,
         client_hidden: Sequence[Sequence[np.ndarray]],
         client_counts: Sequence[int],
+        client_ids: Sequence[int] | None = None,
     ) -> GlobalMoments:
         m = len(client_hidden)
-        if m != self.comm.num_clients:
-            raise ValueError("one hidden list per client required")
+        if client_ids is None:
+            client_ids = list(range(m))
+        if len(client_ids) != m:
+            raise ValueError("one communicator id per participant required")
+        if len(set(client_ids)) != m:
+            raise ValueError("participant ids must be distinct")
+        if m < 1 or m > self.comm.num_clients:
+            raise ValueError(
+                f"{m} participants cannot exceed {self.comm.num_clients} clients"
+            )
         num_layers = len(client_hidden[0])
         if num_layers == 0:
             raise ValueError("clients have no hidden layers")
         dims = [np.asarray(client_hidden[0][l]).shape[1] for l in range(num_layers)]
         n_total = float(sum(client_counts))
 
-        # ---- round 1: masked Σ nᵢ·meanᵢ per layer.
+        # ---- round 1: masked Σ nᵢ·meanᵢ per layer.  Masks are pairwise
+        # over the round's *participants* — they cancel over any subset,
+        # so client sampling composes with secure aggregation.
         shapes = [(d,) for d in dims]
         masks = pairwise_masks(m, shapes, self.round_seed)
-        uploads = []
-        for i, (hidden, n_i) in enumerate(zip(client_hidden, client_counts)):
+        received = []
+        for i, (cid, hidden, n_i) in enumerate(zip(client_ids, client_hidden, client_counts)):
             payload = []
             for l, z in enumerate(hidden):
                 weighted = float(n_i) * np.asarray(z).mean(axis=0)
                 payload.append(weighted + masks[i][l])
-            uploads.append({"masked": payload, "n": float(n_i)})
-        received = self.comm.gather(uploads)
+            received.append(
+                self.comm.send_to_server(cid, {"masked": payload, "n": float(n_i)})
+            )
         global_means = []
         for l in range(num_layers):
             total = np.zeros(dims[l])
             for r in received:
                 total += r["masked"][l]
             global_means.append(total / n_total)
-        means_per_client = self.comm.broadcast(global_means)
+        means_per_client = [self.comm.send_to_client(cid, global_means) for cid in client_ids]
 
         # ---- round 2: masked Σ nᵢ·momentᵢ per (layer, order).
         shapes2 = [(d,) for d in dims for _ in self.orders]
         masks2 = pairwise_masks(m, shapes2, self.round_seed + 1)
-        uploads2 = []
-        for i, (hidden, n_i) in enumerate(zip(client_hidden, client_counts)):
+        received2 = []
+        for i, (cid, hidden, n_i) in enumerate(zip(client_ids, client_hidden, client_counts)):
             g_means = means_per_client[i]
             payload = []
             idx = 0
@@ -104,8 +116,9 @@ class SecureMomentExchange(MomentExchange):
                     weighted = float(n_i) * (centered**j).mean(axis=0)
                     payload.append(weighted + masks2[i][idx])
                     idx += 1
-            uploads2.append({"masked": payload, "n": float(n_i)})
-        received2 = self.comm.gather(uploads2)
+            received2.append(
+                self.comm.send_to_server(cid, {"masked": payload, "n": float(n_i)})
+            )
         global_moments: List[List[np.ndarray]] = []
         idx = 0
         for l in range(num_layers):
@@ -117,5 +130,6 @@ class SecureMomentExchange(MomentExchange):
                 per_order.append(total / n_total)
                 idx += 1
             global_moments.append(per_order)
-        self.comm.broadcast(global_moments)
+        for cid in client_ids:
+            self.comm.send_to_client(cid, global_moments)
         return GlobalMoments(means=global_means, moments=global_moments, orders=self.orders)

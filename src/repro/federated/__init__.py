@@ -9,7 +9,10 @@ not assumed.
 
 Key pieces:
 
-* :class:`Communicator` / :class:`CommStats` — metered transport.
+* :class:`Communicator` / :class:`CommStats` — metered transport
+  (thread-safe counters).
+* :class:`ClientExecutor` — ordered serial/threaded map over clients;
+  ``TrainerConfig.num_workers`` turns it on.
 * :func:`fedavg` — weighted parameter averaging (Eq. 2's minimizer).
 * :class:`Client` — owns a party subgraph, a local model and optimizer.
 * :class:`FederatedTrainer` — the synchronous round loop with
@@ -18,6 +21,7 @@ Key pieces:
 """
 
 from repro.federated.comm import Communicator, CommStats, payload_bytes
+from repro.federated.executor import ClientExecutor, resolve_workers
 from repro.federated.server import fedavg, uniform_fedavg
 from repro.federated.client import Client
 from repro.federated.history import RoundRecord, TrainingHistory
@@ -27,6 +31,8 @@ __all__ = [
     "Communicator",
     "CommStats",
     "payload_bytes",
+    "ClientExecutor",
+    "resolve_workers",
     "fedavg",
     "uniform_fedavg",
     "Client",

@@ -11,11 +11,21 @@ All transfers deep-copy the payload.  This is deliberate: in-process
 simulation would otherwise share mutable arrays between "machines",
 hiding bugs (e.g. a client mutating the global model in place) that a
 real deployment would surface.
+
+Thread-safety contract: every stat mutation happens under one internal
+lock, so point-to-point transfers may be issued concurrently from
+:class:`~repro.federated.executor.ClientExecutor` worker threads and the
+counters stay exact.  Collectives (broadcast / gather / allgather) are
+round barriers and must be called from the coordinating thread only.
+Reading ``stats`` between rounds (how the trainer records history) needs
+no lock; use :meth:`Communicator.snapshot` for a consistent copy while
+transfers are in flight.
 """
 
 from __future__ import annotations
 
 import copy
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
@@ -57,6 +67,25 @@ class CommStats:
     def total_bytes(self) -> int:
         return self.uplink_bytes + self.downlink_bytes
 
+    def copy(self) -> "CommStats":
+        return CommStats(
+            uplink_bytes=self.uplink_bytes,
+            downlink_bytes=self.downlink_bytes,
+            uplink_messages=self.uplink_messages,
+            downlink_messages=self.downlink_messages,
+            rounds=self.rounds,
+        )
+
+    def __sub__(self, other: "CommStats") -> "CommStats":
+        """Counter deltas — ``after - before`` isolates one phase's traffic."""
+        return CommStats(
+            uplink_bytes=self.uplink_bytes - other.uplink_bytes,
+            downlink_bytes=self.downlink_bytes - other.downlink_bytes,
+            uplink_messages=self.uplink_messages - other.uplink_messages,
+            downlink_messages=self.downlink_messages - other.downlink_messages,
+            rounds=self.rounds - other.rounds,
+        )
+
     def as_dict(self) -> Dict[str, int]:
         return {
             "uplink_bytes": self.uplink_bytes,
@@ -74,24 +103,40 @@ class Communicator:
 
     num_clients: int
     stats: CommStats = field(default_factory=CommStats)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.num_clients < 1:
             raise ValueError("need at least one client")
 
+    def snapshot(self) -> CommStats:
+        """Consistent copy of the counters (safe during concurrent sends)."""
+        with self._lock:
+            return self.stats.copy()
+
+    def _meter_uplink(self, nbytes: int, messages: int = 1) -> None:
+        with self._lock:
+            self.stats.uplink_bytes += nbytes
+            self.stats.uplink_messages += messages
+
+    def _meter_downlink(self, nbytes: int, messages: int = 1) -> None:
+        with self._lock:
+            self.stats.downlink_bytes += nbytes
+            self.stats.downlink_messages += messages
+
     # -- collectives ------------------------------------------------------
     def broadcast(self, payload: Any) -> List[Any]:
         """Server → all clients.  Returns one independent copy per client."""
         size = payload_bytes(payload)
-        self.stats.downlink_bytes += size * self.num_clients
-        self.stats.downlink_messages += self.num_clients
+        self._meter_downlink(size * self.num_clients, self.num_clients)
         return [copy.deepcopy(payload) for _ in range(self.num_clients)]
 
     def send_to_client(self, client_id: int, payload: Any) -> Any:
         """Server → one client."""
         self._check_id(client_id)
-        self.stats.downlink_bytes += payload_bytes(payload)
-        self.stats.downlink_messages += 1
+        self._meter_downlink(payload_bytes(payload))
         return copy.deepcopy(payload)
 
     def gather(self, payloads: List[Any]) -> List[Any]:
@@ -99,15 +144,13 @@ class Communicator:
         if len(payloads) != self.num_clients:
             raise ValueError(f"expected {self.num_clients} payloads, got {len(payloads)}")
         for p in payloads:
-            self.stats.uplink_bytes += payload_bytes(p)
-            self.stats.uplink_messages += 1
+            self._meter_uplink(payload_bytes(p))
         return [copy.deepcopy(p) for p in payloads]
 
     def send_to_server(self, client_id: int, payload: Any) -> Any:
         """One client → server."""
         self._check_id(client_id)
-        self.stats.uplink_bytes += payload_bytes(payload)
-        self.stats.uplink_messages += 1
+        self._meter_uplink(payload_bytes(payload))
         return copy.deepcopy(payload)
 
     def allgather(self, payloads: List[Any]) -> List[List[Any]]:
@@ -121,14 +164,14 @@ class Communicator:
         out = []
         for _ in range(self.num_clients):
             size = sum(payload_bytes(p) for p in gathered)
-            self.stats.downlink_bytes += size
-            self.stats.downlink_messages += 1
+            self._meter_downlink(size)
             out.append(copy.deepcopy(gathered))
         return out
 
     def end_round(self) -> None:
         """Mark a communication-round boundary (for per-round averages)."""
-        self.stats.rounds += 1
+        with self._lock:
+            self.stats.rounds += 1
 
     def _check_id(self, client_id: int) -> None:
         if not 0 <= client_id < self.num_clients:

@@ -1,0 +1,97 @@
+"""Parallel client execution engine.
+
+Parties in a synchronous FL round are embarrassingly parallel: local
+training, evaluation, and the hidden-activation forward passes of the
+moment exchange touch only per-client state (model, optimizer, private
+subgraph, per-client RNG).  On this NumPy substrate the heavy kernels
+(BLAS matmuls, scipy spmm) release the GIL, so a *thread* pool already
+overlaps real computation without any pickling or process spawn cost.
+
+:class:`ClientExecutor` is the one place that knows about threads.  It
+maps a function over clients and returns results **in submission
+order**, so callers see exactly the list the serial loop would have
+produced.  With ``num_workers <= 1`` it degrades to a plain loop — the
+serial fallback — which keeps single-threaded debugging trivial and is
+the default everywhere.
+
+Determinism contract (what makes ``num_workers`` a pure speed knob):
+
+* every client owns its own ``np.random.Generator`` (dropout) and its
+  own optimizer state, so the *sequence of ops within one client* is
+  identical regardless of how clients interleave;
+* the autograd grad-mode switch is thread-local
+  (:func:`repro.autograd.no_grad`);
+* shared read-only inputs (global moments, the broadcast model state)
+  are only written at round barriers, never inside worker tasks;
+* anything metered (:class:`repro.federated.comm.Communicator`) uses a
+  lock, and results are reduced in client order.
+
+Given those invariants, parallel and serial runs produce bitwise
+identical models and :class:`~repro.federated.history.TrainingHistory`
+metrics — asserted by ``tests/federated/test_executor.py`` and the
+``benchmarks/test_bench_parallel.py`` speedup bench.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_workers(num_workers: int) -> int:
+    """Effective worker count: ``0`` means auto (one per CPU), else as-is."""
+    if num_workers < 0:
+        raise ValueError("num_workers must be >= 0 (0 = auto)")
+    if num_workers == 0:
+        return os.cpu_count() or 1
+    return num_workers
+
+
+class ClientExecutor:
+    """Ordered map over clients, threaded when ``num_workers > 1``.
+
+    The pool is created lazily on first parallel :meth:`map` and reused
+    for the executor's lifetime (a federated run makes thousands of
+    small submissions; re-spawning threads per round would dominate).
+    Exceptions raised by a task propagate to the caller on collection,
+    as they would in the serial loop.
+    """
+
+    def __init__(self, num_workers: int = 1) -> None:
+        self.num_workers = resolve_workers(num_workers)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    @property
+    def parallel(self) -> bool:
+        return self.num_workers > 1
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply ``fn`` to every item; results in item order."""
+        if not self.parallel or len(items) <= 1:
+            return [fn(item) for item in items]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.num_workers, thread_name_prefix="fl-client"
+            )
+        futures = [self._pool.submit(fn, item) for item in items]
+        return [f.result() for f in futures]
+
+    def shutdown(self) -> None:
+        """Release pool threads (idempotent; the executor stays usable)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover
+        mode = "parallel" if self.parallel else "serial"
+        return f"ClientExecutor(num_workers={self.num_workers}, {mode})"

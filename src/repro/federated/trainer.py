@@ -21,6 +21,7 @@ validation accuracy with the paper's patience of 200.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -29,6 +30,7 @@ import numpy as np
 from repro.autograd import Tensor
 from repro.federated.client import Client
 from repro.federated.comm import Communicator
+from repro.federated.executor import ClientExecutor
 from repro.federated.history import RoundRecord, TrainingHistory
 from repro.federated.server import fedavg
 from repro.graphs.data import Graph
@@ -55,6 +57,11 @@ class TrainerConfig:
     # Abort-and-skip guard: when a client's local loss goes non-finite
     # (divergence), its step is rolled back instead of poisoning FedAvg.
     nan_guard: bool = True
+    # Worker threads for per-client work (local training, evaluation,
+    # moment-exchange forwards).  1 = serial (default), 0 = one per CPU.
+    # Parallel and serial runs produce identical training metrics; see
+    # repro.federated.executor for the determinism contract.
+    num_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.max_rounds < 1 or self.local_epochs < 1:
@@ -63,6 +70,8 @@ class TrainerConfig:
             raise ValueError("patience must be >= 1")
         if not 0.0 < self.participation_rate <= 1.0:
             raise ValueError("participation_rate must be in (0, 1]")
+        if self.num_workers < 0:
+            raise ValueError("num_workers must be >= 0 (0 = auto)")
 
 
 class FederatedTrainer:
@@ -81,6 +90,7 @@ class FederatedTrainer:
         self.config = config or TrainerConfig()
         self.seed = seed
         self.comm = Communicator(num_clients=len(parts))
+        self.executor = ClientExecutor(self.config.num_workers)
         self.history = TrainingHistory()
         self._round_rng = np.random.default_rng(seed + 99991)
         self._participants: Optional[List[int]] = None
@@ -151,15 +161,31 @@ class FederatedTrainer:
 
     def evaluate(self, split: str = "test") -> float:
         """Node-weighted average accuracy across parties."""
-        accs, counts = [], []
-        for c in self.clients:
-            acc, n = c.evaluate(split)
-            if n > 0:
-                accs.append(acc)
-                counts.append(n)
+        results = self.executor.map(lambda c: c.evaluate(split), self.clients)
+        accs = [acc for acc, n in results if n > 0]
+        counts = [n for _, n in results if n > 0]
         if not counts:
             return float("nan")
         return float(np.average(accs, weights=counts))
+
+    def _train_participants(self) -> List[float]:
+        """Local epochs for every participant; losses in client order.
+
+        One executor task per client runs all its local epochs — the
+        client's own op sequence (and RNG draws) is identical to the
+        serial loop's, so results are bitwise reproducible regardless of
+        how clients interleave across workers.
+        """
+        cfg = self.config
+
+        def local_epochs(client: Client) -> List[float]:
+            return [
+                client.train_step(self.local_loss, nan_guard=cfg.nan_guard)
+                for _ in range(cfg.local_epochs)
+            ]
+
+        per_client = self.executor.map(local_epochs, self.participating_clients())
+        return [loss for client_losses in per_client for loss in client_losses]
 
     def run(self, verbose: bool = False) -> TrainingHistory:
         """Train until ``max_rounds`` or patience exhaustion; return history."""
@@ -169,26 +195,26 @@ class FederatedTrainer:
         rounds_since_best = 0
 
         for round_idx in range(cfg.max_rounds):
+            t_round = time.perf_counter()
             self._sample_participants()
             self.begin_round(round_idx)
+            t_exchange = time.perf_counter()
 
-            losses = []
-            for client in self.participating_clients():
-                for _ in range(cfg.local_epochs):
-                    losses.append(
-                        client.train_step(self.local_loss, nan_guard=cfg.nan_guard)
-                    )
+            losses = self._train_participants()
             self.after_local_training(round_idx)
+            t_train = time.perf_counter()
 
             global_state = self.aggregate()
             if global_state is not None:
                 for client, state in zip(self.clients, self.comm.broadcast(global_state)):
                     client.set_state(state)
             self.comm.end_round()
+            t_agg = time.perf_counter()
 
             if round_idx % cfg.eval_every == 0:
                 val_acc = self.evaluate("val")
                 test_acc = self.evaluate("test")
+                t_eval = time.perf_counter()
                 finite = [l for l in losses if np.isfinite(l)]
                 self.history.append(
                     RoundRecord(
@@ -198,6 +224,11 @@ class FederatedTrainer:
                         test_acc=test_acc,
                         uplink_bytes=self.comm.stats.uplink_bytes,
                         downlink_bytes=self.comm.stats.downlink_bytes,
+                        wall_time=t_eval - t_round,
+                        exchange_time=t_exchange - t_round,
+                        train_time=t_train - t_exchange,
+                        agg_time=t_agg - t_train,
+                        eval_time=t_eval - t_agg,
                     )
                 )
                 if verbose:
@@ -219,6 +250,9 @@ class FederatedTrainer:
         if best_states is not None:
             for client, state in zip(self.clients, best_states):
                 client.set_state(state)
+        # Release idle pool threads; the executor respawns lazily if the
+        # trainer is evaluated or resumed afterwards.
+        self.executor.shutdown()
         return self.history
 
     # ------------------------------------------------------------------

@@ -21,7 +21,6 @@ import numpy as np
 
 from repro.autograd import Tensor, dropout, relu, spmm
 from repro.graphs.data import Graph
-from repro.graphs.laplacian import row_normalized_adjacency
 from repro.nn import Linear
 from repro.nn.module import Module
 from repro.gnn.gcn_conv import GCNConv
@@ -135,16 +134,12 @@ class SAGE(Module):
         self.conv2 = SAGEConv(hidden, num_classes, rng=gen)
         self.dropout_p = dropout_p
         self._rng = gen
-        self._mean_adj_cache = {}
-
-    def _mean_adj(self, graph: Graph):
-        key = id(graph)
-        if key not in self._mean_adj_cache:
-            self._mean_adj_cache[key] = row_normalized_adjacency(graph.adj)
-        return self._mean_adj_cache[key]
 
     def forward_with_hidden(self, graph: Graph) -> Tuple[Tensor, List[Tensor]]:
-        m = self._mean_adj(graph)
+        # The aggregator is cached on the graph itself (graph.mean_adj),
+        # not in a model-side id(graph) dict: ids recycle after GC, which
+        # aliased a new graph to a dead graph's operator.
+        m = graph.mean_adj
         h = relu(self.conv1(m, Tensor(graph.x)))
         hid = [h]
         h = dropout(h, self.dropout_p, rng=self._rng, training=self.training)
@@ -219,18 +214,11 @@ class GAT(Module):
         self.conv2 = GATConv(hidden, num_classes, rng=gen)
         self.dropout_p = dropout_p
         self._rng = gen
-        self._edge_cache = {}
-
-    def _edges(self, graph: Graph):
-        from repro.gnn.gat_conv import GATConv
-
-        key = id(graph)
-        if key not in self._edge_cache:
-            self._edge_cache[key] = GATConv.edge_index(graph.adj)
-        return self._edge_cache[key]
 
     def forward_with_hidden(self, graph: Graph) -> Tuple[Tensor, List[Tensor]]:
-        edges = self._edges(graph)
+        # Cached on the graph (graph.edge_index), not keyed on id(graph);
+        # see SAGE.forward_with_hidden.
+        edges = graph.edge_index
         h = relu(self.conv1(edges, Tensor(graph.x)))
         hid = [h]
         h = dropout(h, self.dropout_p, rng=self._rng, training=self.training)

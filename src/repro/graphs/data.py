@@ -46,6 +46,8 @@ class Graph:
     test_mask: Optional[np.ndarray] = None
     name: str = "graph"
     _s_norm: Optional[sp.csr_matrix] = field(default=None, repr=False, compare=False)
+    _mean_adj: Optional[sp.csr_matrix] = field(default=None, repr=False, compare=False)
+    _edge_index: Optional[tuple] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.x = np.asarray(self.x, dtype=np.float64)
@@ -90,6 +92,33 @@ class Graph:
 
             self._s_norm = normalized_adjacency(self.adj)
         return self._s_norm
+
+    @property
+    def mean_adj(self) -> sp.csr_matrix:
+        """Cached row-normalized (A+I) — GraphSAGE's mean aggregator.
+
+        Cached *on the graph* (like :attr:`s_norm`) rather than in a
+        model-side ``id(graph)``-keyed dict: ids are reused after
+        garbage collection, so such a dict can silently serve another
+        graph's operator — and it keeps every graph it ever saw alive in
+        the cache owner.
+        """
+        if self._mean_adj is None:
+            from repro.graphs.laplacian import row_normalized_adjacency
+
+            self._mean_adj = row_normalized_adjacency(self.adj)
+        return self._mean_adj
+
+    @property
+    def edge_index(self) -> tuple:
+        """Cached ``(src, dst)`` int64 arrays with self loops (GAT's edges)."""
+        if self._edge_index is None:
+            n = self.num_nodes
+            coo = sp.coo_matrix(self.adj)
+            src = np.concatenate([coo.row, np.arange(n)]).astype(np.int64)
+            dst = np.concatenate([coo.col, np.arange(n)]).astype(np.int64)
+            self._edge_index = (src, dst)
+        return self._edge_index
 
     def degrees(self) -> np.ndarray:
         """Node degrees (without self loops)."""

@@ -103,6 +103,48 @@ class TestExchangeProtocol:
         with pytest.raises(ValueError):
             MomentExchange(comm, orders=(1, 2))
 
+    def test_subset_participation_matches_pooled_subset(self):
+        # With client sampling only participants exchange statistics; the
+        # result must be the pooled moments of exactly that subset.
+        hidden = make_hidden(num_clients=4, layers=2, dim=3)
+        counts = [h[0].shape[0] for h in hidden]
+        participants = [1, 3]
+        comm = Communicator(num_clients=4)
+        got = MomentExchange(comm).run(
+            [hidden[i] for i in participants],
+            [counts[i] for i in participants],
+            client_ids=participants,
+        )
+        want = pooled_central_moments([hidden[i] for i in participants])
+        for l in range(2):
+            np.testing.assert_allclose(got.means[l], want.means[l], rtol=1e-12)
+            for oi in range(4):
+                np.testing.assert_allclose(
+                    got.moments[l][oi], want.moments[l][oi], rtol=1e-10, atol=1e-12
+                )
+
+    def test_subset_traffic_scales_with_participants(self):
+        hidden = make_hidden(num_clients=4, layers=2, dim=3)
+        counts = [h[0].shape[0] for h in hidden]
+        comm = Communicator(num_clients=4)
+        MomentExchange(comm).run(
+            [hidden[1], hidden[3]], [counts[1], counts[3]], client_ids=[1, 3]
+        )
+        # 2 participants × 2 statistic rounds, up and down — nothing for
+        # the unsampled clients 0 and 2.
+        assert comm.stats.uplink_messages == 4
+        assert comm.stats.downlink_messages == 4
+
+    def test_subset_rejects_bad_ids(self):
+        hidden = make_hidden(num_clients=2)
+        comm = Communicator(num_clients=4)
+        with pytest.raises(ValueError):
+            MomentExchange(comm).run(hidden, [10, 20], client_ids=[0])  # length
+        with pytest.raises(ValueError):
+            MomentExchange(comm).run(hidden, [10, 20], client_ids=[1, 1])  # dup
+        with pytest.raises(ValueError):
+            MomentExchange(comm).run(hidden, [10, 20], client_ids=[0, 7])  # range
+
     def test_orders_carried_through(self):
         comm = Communicator(num_clients=1)
         got = MomentExchange(comm, orders=(2, 4)).run(make_hidden(num_clients=1), [10])

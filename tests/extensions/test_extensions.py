@@ -68,24 +68,38 @@ class TestSecureExchange:
         counts = [h[0].shape[0] for h in hidden]
         comm = Communicator(num_clients=2)
         ex = SecureMomentExchange(comm, round_seed=9)
-        # Monkeypatch gather to capture the raw uploads.
+        # Monkeypatch the uplink to capture the raw uploads.
         captured = []
-        orig = comm.gather
+        orig = comm.send_to_server
 
-        def spy(payloads):
-            captured.append([p["masked"][0].copy() for p in payloads])
-            return orig(payloads)
+        def spy(cid, payload):
+            captured.append((cid, payload["masked"][0].copy()))
+            return orig(cid, payload)
 
-        comm.gather = spy
+        comm.send_to_server = spy
         ex.run(hidden, counts)
         true_stat = counts[0] * hidden[0][0].mean(axis=0)
-        assert np.abs(captured[0][0] - true_stat).max() > 0.1
+        assert captured[0][0] == 0
+        assert np.abs(captured[0][1] - true_stat).max() > 0.1
 
     def test_matches_pooled_oracle(self):
         hidden = make_hidden(num_clients=3)
         counts = [h[0].shape[0] for h in hidden]
         secure = SecureMomentExchange(Communicator(num_clients=3)).run(hidden, counts)
         oracle = pooled_central_moments(hidden)
+        np.testing.assert_allclose(secure.means[0], oracle.means[0], atol=1e-9)
+        np.testing.assert_allclose(secure.moments[0][0], oracle.moments[0][0], atol=1e-9)
+
+    def test_composes_with_client_sampling(self):
+        # Pairwise masks cancel over any participant subset, so secure
+        # aggregation works under partial participation too.
+        hidden = make_hidden(num_clients=4)
+        counts = [h[0].shape[0] for h in hidden]
+        sub = [0, 2]
+        secure = SecureMomentExchange(Communicator(num_clients=4)).run(
+            [hidden[i] for i in sub], [counts[i] for i in sub], client_ids=sub
+        )
+        oracle = pooled_central_moments([hidden[i] for i in sub])
         np.testing.assert_allclose(secure.means[0], oracle.means[0], atol=1e-9)
         np.testing.assert_allclose(secure.moments[0][0], oracle.moments[0][0], atol=1e-9)
 

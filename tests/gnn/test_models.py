@@ -1,11 +1,17 @@
 """Tests for the model zoo: shapes, hidden outputs, trainability."""
 
+import gc
+
 import numpy as np
 import pytest
+import scipy.sparse as sp
 
-from repro.autograd import no_grad
+from repro.autograd import Tensor, no_grad, relu
 from repro.gnn import GCN, MLP, SAGE, SGC, OrthoGCN
+from repro.gnn.models import GAT
 from repro.graphs import load_dataset
+from repro.graphs.data import Graph
+from repro.graphs.laplacian import row_normalized_adjacency
 from repro.nn import Adam, accuracy, cross_entropy
 
 MODELS = {
@@ -147,3 +153,97 @@ class TestSGCSpecifics:
         g2.x = 2.0 * g2.x
         with no_grad():
             np.testing.assert_allclose(m(g2).data, 2 * m(graph).data, atol=1e-9)
+
+
+def _toy_graph(edges, n=6, f=4, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = [u for u, v in edges] + [v for u, v in edges]
+    cols = [v for u, v in edges] + [u for u, v in edges]
+    adj = sp.csr_matrix((np.ones(len(rows)), (rows, cols)), shape=(n, n))
+    return Graph(
+        x=rng.standard_normal((n, f)),
+        adj=adj,
+        y=rng.integers(0, 2, size=n),
+        num_classes=2,
+    )
+
+
+RING_EDGES = [(i, (i + 1) % 6) for i in range(6)]
+STAR_EDGES = [(0, i) for i in range(1, 6)]
+
+
+class TestOperatorCacheIdentity:
+    """Propagation operators are cached on the Graph, never keyed on id().
+
+    Regression for the id(graph)-keyed model-side caches: CPython reuses
+    object addresses after garbage collection, so a freshly created
+    graph could silently receive a *dead* graph's aggregator/edge list.
+    """
+
+    def test_mean_adj_cached_on_graph(self):
+        g = _toy_graph(RING_EDGES)
+        assert g.mean_adj is g.mean_adj  # computed once
+        np.testing.assert_allclose(
+            g.mean_adj.toarray(), row_normalized_adjacency(g.adj).toarray()
+        )
+
+    def test_edge_index_cached_on_graph(self):
+        from repro.gnn import GATConv
+
+        g = _toy_graph(RING_EDGES)
+        assert g.edge_index is g.edge_index
+        src, dst = g.edge_index
+        want_src, want_dst = GATConv.edge_index(g.adj)
+        np.testing.assert_array_equal(src, want_src)
+        np.testing.assert_array_equal(dst, want_dst)
+
+    def test_copy_drops_operator_caches(self):
+        g = _toy_graph(RING_EDGES)
+        g.mean_adj, g.edge_index  # populate
+        c = g.copy()
+        assert c._mean_adj is None and c._edge_index is None
+
+    def test_sequential_graphs_at_same_address_do_not_alias(self):
+        # Force the id-reuse scenario: drop a ring graph, allocate star
+        # graphs until one lands on the recycled address.  Whether or
+        # not the collision happens (it almost always does in CPython),
+        # the star graph must yield its own operator, not the ring's.
+        model = SAGE(4, 2, hidden=8, rng=np.random.default_rng(0)).eval()
+        ring = _toy_graph(RING_EDGES)
+        with no_grad():
+            model(ring)  # old code would cache under id(ring)
+        ring_id = id(ring)
+        del ring
+        gc.collect()
+        star = None
+        for seed in range(64):
+            candidate = _toy_graph(STAR_EDGES, seed=seed)
+            if id(candidate) == ring_id:
+                star = candidate
+                break
+            del candidate
+        if star is None:  # pragma: no cover - allocator-dependent fallback
+            star = _toy_graph(STAR_EDGES)
+        with no_grad():
+            got = model(star).data
+            m = row_normalized_adjacency(star.adj)
+            h = relu(model.conv1(m, Tensor(star.x)))
+            want = model.conv2(m, h).data
+        np.testing.assert_allclose(got, want)
+        np.testing.assert_allclose(
+            star.mean_adj.toarray(), row_normalized_adjacency(star.adj).toarray()
+        )
+
+    def test_gat_uses_graph_edges(self):
+        model = GAT(4, 2, hidden=8, rng=np.random.default_rng(0)).eval()
+        ring = _toy_graph(RING_EDGES)
+        with no_grad():
+            model(ring)
+        del ring
+        gc.collect()
+        star = _toy_graph(STAR_EDGES)
+        with no_grad():
+            got = model(star).data
+            h = relu(model.conv1(star.edge_index, Tensor(star.x)))
+            want = model.conv2(star.edge_index, h).data
+        np.testing.assert_allclose(got, want)
