@@ -16,6 +16,8 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.metrics import get_registry as _get_metrics
+
 _DEFAULT_DTYPE = np.float64
 
 
@@ -183,6 +185,10 @@ class Tensor:
             grad = np.asarray(grad, dtype=_DEFAULT_DTYPE)
             if grad.shape != self.data.shape:
                 raise ValueError(f"gradient shape {grad.shape} != tensor shape {self.shape}")
+
+        reg = _get_metrics()
+        if reg.enabled:
+            reg.counter("autograd.backward_calls").inc()
 
         # Topological order by iterative DFS (recursion depth would blow up
         # on deep unrolled graphs, e.g. many-layer OrthoGCN + CMD sums).

@@ -28,8 +28,9 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.federated.comm import Communicator
+from repro.federated.comm import Communicator, KIND_MEANS, KIND_MOMENTS
 from repro.federated.server import weighted_mean_statistics
+from repro.obs import get_tracer
 
 
 @dataclass
@@ -112,52 +113,67 @@ class MomentExchange:
             if len(h) != num_layers:
                 raise ValueError("clients disagree on layer count")
 
-        # ---- round 1: upload local means + counts, download global means.
-        received = []
-        for cid, hidden, n_i in zip(client_ids, client_hidden, client_counts):
-            means = [
-                self._perturb_statistic(np.asarray(z).mean(axis=0), float(n_i))
-                for z in hidden
-            ]
-            received.append(self.comm.send_to_server(cid, {"means": means, "n": float(n_i)}))
-        global_means = [
-            weighted_mean_statistics(
-                [r["means"][l] for r in received], [r["n"] for r in received]
-            )
-            for l in range(num_layers)
-        ]
-        means_per_client = [self.comm.send_to_client(cid, global_means) for cid in client_ids]
+        tracer = get_tracer()
 
-        # ---- round 2: moments about the global mean, download averages.
-        received2 = []
-        for i, (cid, hidden, n_i) in enumerate(zip(client_ids, client_hidden, client_counts)):
-            g_means = means_per_client[i]
-            layer_moms = []
-            for l, z in enumerate(hidden):
-                centered = np.asarray(z, dtype=np.float64) - g_means[l]
-                layer_moms.append(
-                    [
-                        self._perturb_statistic((centered**j).mean(axis=0), float(n_i))
-                        for j in self.orders
-                    ]
-                )
-            received2.append(
-                self.comm.send_to_server(cid, {"moments": layer_moms, "n": float(n_i)})
-            )
-        global_moments: List[List[np.ndarray]] = []
-        for l in range(num_layers):
-            per_order = []
-            for oi in range(len(self.orders)):
-                per_order.append(
-                    weighted_mean_statistics(
-                        [r["moments"][l][oi] for r in received2],
-                        [r["n"] for r in received2],
+        # ---- round 1: upload local means + counts, download global means.
+        with tracer.span("exchange.means", participants=m):
+            received = []
+            for cid, hidden, n_i in zip(client_ids, client_hidden, client_counts):
+                means = [
+                    self._perturb_statistic(np.asarray(z).mean(axis=0), float(n_i))
+                    for z in hidden
+                ]
+                received.append(
+                    self.comm.send_to_server(
+                        cid, {"means": means, "n": float(n_i)}, kind=KIND_MEANS
                     )
                 )
-            global_moments.append(per_order)
-        # The final IID summary goes back to every participant.
-        for cid in client_ids:
-            self.comm.send_to_client(cid, global_moments)
+            global_means = [
+                weighted_mean_statistics(
+                    [r["means"][l] for r in received], [r["n"] for r in received]
+                )
+                for l in range(num_layers)
+            ]
+            means_per_client = [
+                self.comm.send_to_client(cid, global_means, kind=KIND_MEANS)
+                for cid in client_ids
+            ]
+
+        # ---- round 2: moments about the global mean, download averages.
+        with tracer.span("exchange.moments", participants=m):
+            received2 = []
+            for i, (cid, hidden, n_i) in enumerate(
+                zip(client_ids, client_hidden, client_counts)
+            ):
+                g_means = means_per_client[i]
+                layer_moms = []
+                for l, z in enumerate(hidden):
+                    centered = np.asarray(z, dtype=np.float64) - g_means[l]
+                    layer_moms.append(
+                        [
+                            self._perturb_statistic((centered**j).mean(axis=0), float(n_i))
+                            for j in self.orders
+                        ]
+                    )
+                received2.append(
+                    self.comm.send_to_server(
+                        cid, {"moments": layer_moms, "n": float(n_i)}, kind=KIND_MOMENTS
+                    )
+                )
+            global_moments: List[List[np.ndarray]] = []
+            for l in range(num_layers):
+                per_order = []
+                for oi in range(len(self.orders)):
+                    per_order.append(
+                        weighted_mean_statistics(
+                            [r["moments"][l][oi] for r in received2],
+                            [r["n"] for r in received2],
+                        )
+                    )
+                global_moments.append(per_order)
+            # The final IID summary goes back to every participant.
+            for cid in client_ids:
+                self.comm.send_to_client(cid, global_moments, kind=KIND_MOMENTS)
 
         return GlobalMoments(means=global_means, moments=global_moments, orders=self.orders)
 

@@ -28,9 +28,11 @@ from repro.autograd import Tensor, no_grad
 from repro.core.cmd import layerwise_cmd
 from repro.core.exchange import GlobalMoments, MomentExchange
 from repro.core.moments import empirical_activation_range
+from repro.core.moments import central_moments_np
 from repro.federated.client import Client
-from repro.federated.comm import CommStats
+from repro.federated.comm import CommStats, KIND_MEANS, KIND_MOMENTS
 from repro.federated.trainer import FederatedTrainer, TrainerConfig
+from repro.obs import get_registry
 from repro.graphs.data import Graph
 from repro.nn import orthogonality_loss
 from repro.nn.module import Module
@@ -124,7 +126,12 @@ class FedOMDTrainer(FederatedTrainer):
                 _, hidden = c.model.forward_with_hidden(c.graph)
             return [h.data for h in hidden]
 
-        client_hidden = self.executor.map(detached_hidden, participants)
+        client_hidden = self.executor.map(
+            detached_hidden,
+            participants,
+            span="client.upload_moments",
+            attrs=lambda c: {"client": c.cid},
+        )
         counts = [c.num_nodes for c in participants]
         if self.omd_config.activation_range is None:
             flat = [z for hs in client_hidden for z in hs]
@@ -157,7 +164,34 @@ class FedOMDTrainer(FederatedTrainer):
                 orders=cfg.orders,
             )
             loss = loss + cmd * cfg.beta
+            self._gauge_cmd_distances(client, hidden)
         return loss
+
+    def _gauge_cmd_distances(self, client: Client, hidden: Sequence[Tensor]) -> None:
+        """Per-layer CMD-to-IID gauges (telemetry only; no autograd, no RNG).
+
+        The GCFL-style drift diagnosis — which client's hidden
+        distribution sits farthest from the pooled "IID" one, and at
+        which depth — needs the per-layer terms Eq. 12 sums away.
+        Recomputed here in plain NumPy on the already-detached data so
+        the training graph and the RNG stream are untouched; skipped
+        entirely against the null registry.
+        """
+        reg = get_registry()
+        if not reg.enabled:
+            return
+        cfg = self.omd_config
+        a, b = self._range
+        span = float(b - a)
+        gm = self._global_moments
+        for l, z in enumerate(hidden):
+            data = np.asarray(z.data, dtype=np.float64)
+            mean_l = data.mean(axis=0)
+            d = float(np.linalg.norm(mean_l - gm.means[l])) / span
+            local = central_moments_np(data, mean_l, cfg.orders)
+            for j, c_j, s_j in zip(cfg.orders, local, gm.moments[l]):
+                d += float(np.linalg.norm(c_j - s_j)) / span ** int(j)
+            reg.gauge("fedomd.cmd_distance", client=client.cid, layer=l).set(d)
 
     def after_local_training(self, round_idx: int) -> None:
         if self.omd_config.hard_orthogonal:
@@ -187,6 +221,8 @@ class FedOMDTrainer(FederatedTrainer):
         l = self.omd_config.num_hidden
         k = len(self.omd_config.orders)
         # Round 1: m·(L·d_h + 1) up, m·L·d_h down; round 2 scales by K.
+        phase1 = m * (l * d_h + 1) * 8 + m * l * d_h * 8
+        phase2 = m * (l * d_h * k + 1) * 8 + m * l * d_h * k * 8
         stats_up = m * (l * d_h + 1) * 8 + m * (l * d_h * k + 1) * 8
         stats_down = m * l * d_h * 8 + m * l * d_h * k * 8
         measured = self._last_exchange_traffic
@@ -201,5 +237,13 @@ class FedOMDTrainer(FederatedTrainer):
             ),
             "statistics_downlink_bytes_measured": (
                 measured.downlink_bytes if measured is not None else stats_down
+            ),
+            # Phase split of Algorithm 1 (kind-tagged channel metering):
+            # phase 1 moves the layer means, phase 2 the central moments.
+            "statistics_phase1_means_bytes_measured": (
+                measured.kind_total_bytes(KIND_MEANS) if measured is not None else phase1
+            ),
+            "statistics_phase2_moments_bytes_measured": (
+                measured.kind_total_bytes(KIND_MOMENTS) if measured is not None else phase2
             ),
         }

@@ -1,4 +1,12 @@
-"""CLI: ``python -m repro.experiments <name|all> [--mode smoke|quick|full]``."""
+"""CLI: ``python -m repro.experiments <name|all> [--mode smoke|quick|full]``.
+
+Telemetry: ``--telemetry out.jsonl`` wraps the run in a
+:class:`repro.obs.TelemetrySession` and writes the full event stream
+(spans, counters, gauges, histograms) as JSONL on exit.  A saved trace
+renders back to a text run report with::
+
+    python -m repro.experiments report out.jsonl
+"""
 
 from __future__ import annotations
 
@@ -10,24 +18,60 @@ from repro.experiments.registry import REGISTRY, get_experiment
 from repro.experiments.runner import default_out_dir
 
 
+def _run_experiments(names, mode: str, out_dir: str) -> None:
+    for name in names:
+        fn = get_experiment(name)
+        t0 = time.time()
+        result = fn(mode=mode, out_dir=out_dir)
+        print(result.render())
+        print(f"[{name}] done in {time.time() - t0:.1f}s → {out_dir}/{name}.csv\n")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
     )
-    parser.add_argument("experiment", help=f"one of {sorted(REGISTRY)} or 'all'")
+    parser.add_argument(
+        "experiment",
+        help=f"one of {sorted(REGISTRY)}, 'all', or 'report' to render a saved trace",
+    )
+    parser.add_argument(
+        "trace", nargs="?", default=None, help="JSONL trace path (report subcommand only)"
+    )
     parser.add_argument("--mode", choices=["smoke", "quick", "full"], default="quick")
     parser.add_argument("--out", default=None, help="output directory (default results/<mode>)")
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL telemetry trace of the run to PATH",
+    )
     args = parser.parse_args(argv)
+
+    if args.experiment == "report":
+        if args.trace is None:
+            parser.error("report needs a trace path: ... report out.jsonl")
+        from repro.reporting import render_report_file
+
+        print(render_report_file(args.trace))
+        return 0
+    if args.trace is not None:
+        parser.error("a trace path is only valid with the 'report' subcommand")
 
     names = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]
     out_dir = args.out or default_out_dir(args.mode)
-    for name in names:
-        fn = get_experiment(name)
-        t0 = time.time()
-        result = fn(mode=args.mode, out_dir=out_dir)
-        print(result.render())
-        print(f"[{name}] done in {time.time() - t0:.1f}s → {out_dir}/{name}.csv\n")
+    if args.telemetry:
+        from repro.obs import TelemetrySession
+
+        session = TelemetrySession(
+            args.telemetry, experiment=args.experiment, mode=args.mode
+        )
+        with session:
+            _run_experiments(names, args.mode, out_dir)
+        print(f"[telemetry] {len(session.events())} events → {args.telemetry}")
+    else:
+        _run_experiments(names, args.mode, out_dir)
     return 0
 
 

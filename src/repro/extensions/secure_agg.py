@@ -20,7 +20,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.core.exchange import GlobalMoments, MomentExchange
-from repro.federated.comm import Communicator
+from repro.federated.comm import Communicator, KIND_MEANS, KIND_MOMENTS
 
 
 def pairwise_masks(
@@ -92,7 +92,9 @@ class SecureMomentExchange(MomentExchange):
                 weighted = float(n_i) * np.asarray(z).mean(axis=0)
                 payload.append(weighted + masks[i][l])
             received.append(
-                self.comm.send_to_server(cid, {"masked": payload, "n": float(n_i)})
+                self.comm.send_to_server(
+                    cid, {"masked": payload, "n": float(n_i)}, kind=KIND_MEANS
+                )
             )
         global_means = []
         for l in range(num_layers):
@@ -100,7 +102,9 @@ class SecureMomentExchange(MomentExchange):
             for r in received:
                 total += r["masked"][l]
             global_means.append(total / n_total)
-        means_per_client = [self.comm.send_to_client(cid, global_means) for cid in client_ids]
+        means_per_client = [
+            self.comm.send_to_client(cid, global_means, kind=KIND_MEANS) for cid in client_ids
+        ]
 
         # ---- round 2: masked Σ nᵢ·momentᵢ per (layer, order).
         shapes2 = [(d,) for d in dims for _ in self.orders]
@@ -117,7 +121,9 @@ class SecureMomentExchange(MomentExchange):
                     payload.append(weighted + masks2[i][idx])
                     idx += 1
             received2.append(
-                self.comm.send_to_server(cid, {"masked": payload, "n": float(n_i)})
+                self.comm.send_to_server(
+                    cid, {"masked": payload, "n": float(n_i)}, kind=KIND_MOMENTS
+                )
             )
         global_moments: List[List[np.ndarray]] = []
         idx = 0
@@ -131,5 +137,5 @@ class SecureMomentExchange(MomentExchange):
                 idx += 1
             global_moments.append(per_order)
         for cid in client_ids:
-            self.comm.send_to_client(cid, global_moments)
+            self.comm.send_to_client(cid, global_moments, kind=KIND_MOMENTS)
         return GlobalMoments(means=global_means, moments=global_moments, orders=self.orders)

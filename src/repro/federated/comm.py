@@ -31,6 +31,16 @@ from typing import Any, Dict, List
 
 import numpy as np
 
+from repro.obs import get_registry
+
+# Well-known payload kinds (callers may also pass their own): model
+# weights vs the two statistic phases of Algorithm 1.  Untagged
+# transfers land in "other".
+KIND_WEIGHTS = "weights"
+KIND_MEANS = "means"
+KIND_MOMENTS = "moments"
+KIND_OTHER = "other"
+
 
 def payload_bytes(payload: Any) -> int:
     """Bytes a transport would move for ``payload``.
@@ -53,19 +63,44 @@ def payload_bytes(payload: Any) -> int:
     raise TypeError(f"unsupported payload type {type(payload).__name__}")
 
 
+def _zero_kind() -> Dict[str, int]:
+    return {
+        "uplink_bytes": 0,
+        "downlink_bytes": 0,
+        "uplink_messages": 0,
+        "downlink_messages": 0,
+    }
+
+
 @dataclass
 class CommStats:
-    """Cumulative traffic counters (bytes and message counts)."""
+    """Cumulative traffic counters (bytes and message counts).
+
+    ``by_kind`` splits the same totals by payload kind (``weights`` /
+    ``means`` / ``moments`` / ``other``), which is how Table 3's
+    statistics-vs-weights accounting and the phase-1/phase-2 split of
+    Algorithm 1 are reported.  The per-kind cells always sum to the
+    aggregate counters.
+    """
 
     uplink_bytes: int = 0  # client → server
     downlink_bytes: int = 0  # server → client
     uplink_messages: int = 0
     downlink_messages: int = 0
     rounds: int = 0
+    by_kind: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def total_bytes(self) -> int:
         return self.uplink_bytes + self.downlink_bytes
+
+    def kind(self, kind: str) -> Dict[str, int]:
+        """The (possibly zero) per-kind cell for ``kind``."""
+        return dict(self.by_kind.get(kind, _zero_kind()))
+
+    def kind_total_bytes(self, kind: str) -> int:
+        cell = self.kind(kind)
+        return cell["uplink_bytes"] + cell["downlink_bytes"]
 
     def copy(self) -> "CommStats":
         return CommStats(
@@ -74,20 +109,29 @@ class CommStats:
             uplink_messages=self.uplink_messages,
             downlink_messages=self.downlink_messages,
             rounds=self.rounds,
+            by_kind={k: dict(v) for k, v in self.by_kind.items()},
         )
 
     def __sub__(self, other: "CommStats") -> "CommStats":
         """Counter deltas — ``after - before`` isolates one phase's traffic."""
+        kinds = set(self.by_kind) | set(other.by_kind)
+        by_kind = {}
+        for k in kinds:
+            a, b = self.kind(k), other.kind(k)
+            cell = {f: a[f] - b[f] for f in a}
+            if any(cell.values()):
+                by_kind[k] = cell
         return CommStats(
             uplink_bytes=self.uplink_bytes - other.uplink_bytes,
             downlink_bytes=self.downlink_bytes - other.downlink_bytes,
             uplink_messages=self.uplink_messages - other.uplink_messages,
             downlink_messages=self.downlink_messages - other.downlink_messages,
             rounds=self.rounds - other.rounds,
+            by_kind=by_kind,
         )
 
     def as_dict(self) -> Dict[str, int]:
-        return {
+        out = {
             "uplink_bytes": self.uplink_bytes,
             "downlink_bytes": self.downlink_bytes,
             "uplink_messages": self.uplink_messages,
@@ -95,6 +139,10 @@ class CommStats:
             "total_bytes": self.total_bytes,
             "rounds": self.rounds,
         }
+        for kind in sorted(self.by_kind):
+            for f, v in self.by_kind[kind].items():
+                out[f"{kind}_{f}"] = v
+        return out
 
 
 @dataclass
@@ -116,55 +164,69 @@ class Communicator:
         with self._lock:
             return self.stats.copy()
 
-    def _meter_uplink(self, nbytes: int, messages: int = 1) -> None:
+    def _meter_uplink(self, nbytes: int, messages: int = 1, kind: str = KIND_OTHER) -> None:
         with self._lock:
             self.stats.uplink_bytes += nbytes
             self.stats.uplink_messages += messages
+            cell = self.stats.by_kind.setdefault(kind, _zero_kind())
+            cell["uplink_bytes"] += nbytes
+            cell["uplink_messages"] += messages
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter("comm.bytes", direction="uplink", kind=kind).inc(nbytes)
+            reg.counter("comm.messages", direction="uplink", kind=kind).inc(messages)
 
-    def _meter_downlink(self, nbytes: int, messages: int = 1) -> None:
+    def _meter_downlink(self, nbytes: int, messages: int = 1, kind: str = KIND_OTHER) -> None:
         with self._lock:
             self.stats.downlink_bytes += nbytes
             self.stats.downlink_messages += messages
+            cell = self.stats.by_kind.setdefault(kind, _zero_kind())
+            cell["downlink_bytes"] += nbytes
+            cell["downlink_messages"] += messages
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter("comm.bytes", direction="downlink", kind=kind).inc(nbytes)
+            reg.counter("comm.messages", direction="downlink", kind=kind).inc(messages)
 
     # -- collectives ------------------------------------------------------
-    def broadcast(self, payload: Any) -> List[Any]:
+    def broadcast(self, payload: Any, kind: str = KIND_OTHER) -> List[Any]:
         """Server → all clients.  Returns one independent copy per client."""
         size = payload_bytes(payload)
-        self._meter_downlink(size * self.num_clients, self.num_clients)
+        self._meter_downlink(size * self.num_clients, self.num_clients, kind=kind)
         return [copy.deepcopy(payload) for _ in range(self.num_clients)]
 
-    def send_to_client(self, client_id: int, payload: Any) -> Any:
+    def send_to_client(self, client_id: int, payload: Any, kind: str = KIND_OTHER) -> Any:
         """Server → one client."""
         self._check_id(client_id)
-        self._meter_downlink(payload_bytes(payload))
+        self._meter_downlink(payload_bytes(payload), kind=kind)
         return copy.deepcopy(payload)
 
-    def gather(self, payloads: List[Any]) -> List[Any]:
+    def gather(self, payloads: List[Any], kind: str = KIND_OTHER) -> List[Any]:
         """All clients → server.  ``payloads[i]`` comes from client ``i``."""
         if len(payloads) != self.num_clients:
             raise ValueError(f"expected {self.num_clients} payloads, got {len(payloads)}")
         for p in payloads:
-            self._meter_uplink(payload_bytes(p))
+            self._meter_uplink(payload_bytes(p), kind=kind)
         return [copy.deepcopy(p) for p in payloads]
 
-    def send_to_server(self, client_id: int, payload: Any) -> Any:
+    def send_to_server(self, client_id: int, payload: Any, kind: str = KIND_OTHER) -> Any:
         """One client → server."""
         self._check_id(client_id)
-        self._meter_uplink(payload_bytes(payload))
+        self._meter_uplink(payload_bytes(payload), kind=kind)
         return copy.deepcopy(payload)
 
-    def allgather(self, payloads: List[Any]) -> List[List[Any]]:
+    def allgather(self, payloads: List[Any], kind: str = KIND_OTHER) -> List[List[Any]]:
         """Gather then broadcast the full list back to every client.
 
         Not used by FedOMD (which only ever moves statistics through the
         server — a privacy feature §4.4 emphasizes) but provided for
         decentralized baselines and extensions.
         """
-        gathered = self.gather(payloads)
+        gathered = self.gather(payloads, kind=kind)
         out = []
         for _ in range(self.num_clients):
             size = sum(payload_bytes(p) for p in gathered)
-            self._meter_downlink(size)
+            self._meter_downlink(size, kind=kind)
             out.append(copy.deepcopy(gathered))
         return out
 

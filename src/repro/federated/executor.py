@@ -35,8 +35,11 @@ metrics — asserted by ``tests/federated/test_executor.py`` and the
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+
+from repro.obs import get_registry, get_tracer
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -69,8 +72,29 @@ class ClientExecutor:
     def parallel(self) -> bool:
         return self.num_workers > 1
 
-    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
-        """Apply ``fn`` to every item; results in item order."""
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        span: Optional[str] = None,
+        attrs: Optional[Callable[[T], Dict[str, object]]] = None,
+    ) -> List[R]:
+        """Apply ``fn`` to every item; results in item order.
+
+        When ``span`` is given and telemetry is enabled, each task runs
+        inside a span of that name — parented on the *submitting*
+        thread's current span, so worker-thread tasks still nest under
+        the round phase that launched them — tagged with ``attrs(item)``
+        (e.g. ``{"client": cid}``).  Queue wait (submit → task start) is
+        recorded into the ``executor.queue_wait_s`` histogram and
+        ``executor.queue_wait_s.last`` gauge.  Instrumentation wraps
+        timing and bookkeeping only; ``fn`` runs unchanged, so results
+        (and the determinism contract above) are unaffected.
+        """
+        tracer = get_tracer()
+        registry = get_registry()
+        if span is not None and (tracer.enabled or registry.enabled):
+            fn = self._instrument(fn, span, attrs, tracer, registry)
         if not self.parallel or len(items) <= 1:
             return [fn(item) for item in items]
         if self._pool is None:
@@ -79,6 +103,30 @@ class ClientExecutor:
             )
         futures = [self._pool.submit(fn, item) for item in items]
         return [f.result() for f in futures]
+
+    def _instrument(
+        self,
+        fn: Callable[[T], R],
+        span: str,
+        attrs: Optional[Callable[[T], Dict[str, object]]],
+        tracer,
+        registry,
+    ) -> Callable[[T], R]:
+        """Wrap ``fn`` in a task span + queue-wait metering."""
+        parent = tracer.current()  # captured on the submitting thread
+        t_submit = time.perf_counter()
+        wait_hist = registry.histogram("executor.queue_wait_s")
+        wait_gauge = registry.gauge("executor.queue_wait_s.last")
+
+        def run(item: T) -> R:
+            wait = time.perf_counter() - t_submit
+            wait_hist.observe(wait)
+            wait_gauge.set(wait)
+            tags = attrs(item) if attrs is not None else {}
+            with tracer.span(span, parent=parent, **tags):
+                return fn(item)
+
+        return run
 
     def shutdown(self) -> None:
         """Release pool threads (idempotent; the executor stays usable)."""

@@ -21,7 +21,6 @@ validation accuracy with the paper's patience of 200.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -29,12 +28,13 @@ import numpy as np
 
 from repro.autograd import Tensor
 from repro.federated.client import Client
-from repro.federated.comm import Communicator
+from repro.federated.comm import Communicator, KIND_WEIGHTS
 from repro.federated.executor import ClientExecutor
 from repro.federated.history import RoundRecord, TrainingHistory
 from repro.federated.server import fedavg
 from repro.graphs.data import Graph
 from repro.nn.module import Module
+from repro.obs import get_tracer
 
 
 @dataclass
@@ -141,7 +141,7 @@ class FederatedTrainer:
         states = [c.get_state() for c in participants]
         # Meter the uplink as if only participants reported (they did).
         for c, s in zip(participants, states):
-            self.comm.send_to_server(c.cid, s)
+            self.comm.send_to_server(c.cid, s, kind=KIND_WEIGHTS)
         weights = (
             [max(c.num_train, 1) for c in participants] if self.config.sample_weighted else None
         )
@@ -156,12 +156,17 @@ class FederatedTrainer:
     def _sync_initial_state(self) -> None:
         """Phase 1: broadcast W₀ so every party starts identically."""
         w0 = self.clients[0].get_state()
-        for client, state in zip(self.clients, self.comm.broadcast(w0)):
+        for client, state in zip(self.clients, self.comm.broadcast(w0, kind=KIND_WEIGHTS)):
             client.set_state(state)
 
     def evaluate(self, split: str = "test") -> float:
         """Node-weighted average accuracy across parties."""
-        results = self.executor.map(lambda c: c.evaluate(split), self.clients)
+        results = self.executor.map(
+            lambda c: c.evaluate(split),
+            self.clients,
+            span="client.eval",
+            attrs=lambda c: {"client": c.cid, "split": split},
+        )
         accs = [acc for acc, n in results if n > 0]
         counts = [n for _, n in results if n > 0]
         if not counts:
@@ -184,7 +189,12 @@ class FederatedTrainer:
                 for _ in range(cfg.local_epochs)
             ]
 
-        per_client = self.executor.map(local_epochs, self.participating_clients())
+        per_client = self.executor.map(
+            local_epochs,
+            self.participating_clients(),
+            span="client.local_train",
+            attrs=lambda c: {"client": c.cid},
+        )
         return [loss for client_losses in per_client for loss in client_losses]
 
     def run(self, verbose: bool = False) -> TrainingHistory:
@@ -194,57 +204,64 @@ class FederatedTrainer:
         best_states: Optional[List[Dict[str, np.ndarray]]] = None
         rounds_since_best = 0
 
+        # Phase timings come from spans: the tracer is the null tracer by
+        # default, whose spans still carry perf_counter timestamps, so the
+        # RoundRecord fields are byte-for-byte the same measurement the old
+        # ad-hoc perf_counter blocks took — telemetry on merely *records*
+        # the same spans to the trace.
+        tracer = get_tracer()
         for round_idx in range(cfg.max_rounds):
-            t_round = time.perf_counter()
-            self._sample_participants()
-            self.begin_round(round_idx)
-            t_exchange = time.perf_counter()
+            with tracer.span("round", round=round_idx) as sp_round:
+                with tracer.span("exchange", round=round_idx) as sp_exchange:
+                    self._sample_participants()
+                    self.begin_round(round_idx)
 
-            losses = self._train_participants()
-            self.after_local_training(round_idx)
-            t_train = time.perf_counter()
+                with tracer.span("train", round=round_idx) as sp_train:
+                    losses = self._train_participants()
+                    self.after_local_training(round_idx)
 
-            global_state = self.aggregate()
-            if global_state is not None:
-                for client, state in zip(self.clients, self.comm.broadcast(global_state)):
-                    client.set_state(state)
-            self.comm.end_round()
-            t_agg = time.perf_counter()
+                with tracer.span("aggregate", round=round_idx) as sp_agg:
+                    global_state = self.aggregate()
+                    if global_state is not None:
+                        broadcast = self.comm.broadcast(global_state, kind=KIND_WEIGHTS)
+                        for client, state in zip(self.clients, broadcast):
+                            client.set_state(state)
+                    self.comm.end_round()
 
-            if round_idx % cfg.eval_every == 0:
-                val_acc = self.evaluate("val")
-                test_acc = self.evaluate("test")
-                t_eval = time.perf_counter()
-                finite = [l for l in losses if np.isfinite(l)]
-                self.history.append(
-                    RoundRecord(
-                        round=round_idx,
-                        train_loss=float(np.mean(finite)) if finite else float("nan"),
-                        val_acc=val_acc,
-                        test_acc=test_acc,
-                        uplink_bytes=self.comm.stats.uplink_bytes,
-                        downlink_bytes=self.comm.stats.downlink_bytes,
-                        wall_time=t_eval - t_round,
-                        exchange_time=t_exchange - t_round,
-                        train_time=t_train - t_exchange,
-                        agg_time=t_agg - t_train,
-                        eval_time=t_eval - t_agg,
+                if round_idx % cfg.eval_every == 0:
+                    with tracer.span("eval", round=round_idx) as sp_eval:
+                        val_acc = self.evaluate("val")
+                        test_acc = self.evaluate("test")
+                    finite = [l for l in losses if np.isfinite(l)]
+                    self.history.append(
+                        RoundRecord(
+                            round=round_idx,
+                            train_loss=float(np.mean(finite)) if finite else float("nan"),
+                            val_acc=val_acc,
+                            test_acc=test_acc,
+                            uplink_bytes=self.comm.stats.uplink_bytes,
+                            downlink_bytes=self.comm.stats.downlink_bytes,
+                            wall_time=sp_eval.t_end - sp_round.t_start,
+                            exchange_time=sp_exchange.duration,
+                            train_time=sp_train.duration,
+                            agg_time=sp_agg.duration,
+                            eval_time=sp_eval.duration,
+                        )
                     )
-                )
-                if verbose:
-                    print(
-                        f"[{self.name}] round {round_idx:4d} "
-                        f"loss {self.history.records[-1].train_loss:.4f} "
-                        f"val {val_acc:.4f} test {test_acc:.4f}"
-                    )
-                if val_acc > best_val:
-                    best_val = val_acc
-                    best_states = [c.get_state() for c in self.clients]
-                    rounds_since_best = 0
-                else:
-                    rounds_since_best += cfg.eval_every
-                if rounds_since_best >= cfg.patience:
-                    break
+                    if verbose:
+                        print(
+                            f"[{self.name}] round {round_idx:4d} "
+                            f"loss {self.history.records[-1].train_loss:.4f} "
+                            f"val {val_acc:.4f} test {test_acc:.4f}"
+                        )
+                    if val_acc > best_val:
+                        best_val = val_acc
+                        best_states = [c.get_state() for c in self.clients]
+                        rounds_since_best = 0
+                    else:
+                        rounds_since_best += cfg.eval_every
+                    if rounds_since_best >= cfg.patience:
+                        break
 
         # Restore the best-validation snapshot (standard early stopping).
         if best_states is not None:

@@ -16,6 +16,7 @@ from typing import Dict, Iterator, List, Tuple
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+from repro.obs.metrics import get_registry
 
 
 class Parameter(Tensor):
@@ -122,4 +123,7 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter("nn.forward_calls", module=type(self).__name__).inc()
         return self.forward(*args, **kwargs)

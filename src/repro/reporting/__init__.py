@@ -7,6 +7,7 @@ underlying data series (CSV) plus terminal-renderable views.
 from repro.reporting.tables import ascii_table, format_acc
 from repro.reporting.csvout import write_csv, read_csv
 from repro.reporting.spark import sparkline, render_series
+from repro.reporting.telemetry import render_report_file, render_run_report
 
 __all__ = [
     "ascii_table",
@@ -15,4 +16,6 @@ __all__ = [
     "read_csv",
     "sparkline",
     "render_series",
+    "render_report_file",
+    "render_run_report",
 ]

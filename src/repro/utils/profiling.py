@@ -4,18 +4,25 @@ scientific-python guide: *no optimization without measuring*).
 :class:`Timer` is a context manager accumulating wall-clock per label;
 :func:`profile_sections` renders the accumulated table.  Used by
 Table 3's cost accounting and available to users profiling their own
-workloads.
+workloads.  For per-event traces with nesting and attributes, use the
+span API in :mod:`repro.obs` instead — ``Timer`` is the aggregate view.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import defaultdict
-from typing import Dict
+from typing import Dict, List, Tuple
 
 
 class Timer:
-    """Accumulating section timer.
+    """Accumulating section timer — reentrant and thread-safe.
+
+    Each thread keeps its own stack of open sections, so ``with``
+    blocks nest (inner sections don't clobber outer ones) and executor
+    worker threads can time concurrently; the accumulated totals are
+    merged under a lock.
 
     >>> t = Timer()
     >>> with t("forward"):
@@ -25,42 +32,57 @@ class Timer:
     """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._totals: Dict[str, float] = defaultdict(float)
         self._counts: Dict[str, int] = defaultdict(int)
-        self._label: str | None = None
-        self._start: float = 0.0
+        self._local = threading.local()
+
+    def _stack(self) -> List[Tuple[str, float]]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def __call__(self, label: str) -> "Timer":
-        self._label = label
+        self._local.pending = label
         return self
 
     def __enter__(self) -> "Timer":
-        if self._label is None:
+        label = getattr(self._local, "pending", None)
+        if label is None:
             raise RuntimeError("use as `with timer('label'):`")
-        self._start = time.perf_counter()
+        self._local.pending = None
+        self._stack().append((label, time.perf_counter()))
         return self
 
     def __exit__(self, *exc) -> None:
-        self._totals[self._label] += time.perf_counter() - self._start
-        self._counts[self._label] += 1
-        self._label = None
+        label, start = self._stack().pop()
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            self._totals[label] += elapsed
+            self._counts[label] += 1
 
     def total(self, label: str) -> float:
-        return self._totals[label]
+        with self._lock:
+            return self._totals[label]
 
     def count(self, label: str) -> int:
-        return self._counts[label]
+        with self._lock:
+            return self._counts[label]
 
     def mean(self, label: str) -> float:
-        c = self._counts[label]
-        return self._totals[label] / c if c else 0.0
+        with self._lock:
+            c = self._counts[label]
+            return self._totals[label] / c if c else 0.0
 
     def labels(self):
-        return sorted(self._totals)
+        with self._lock:
+            return sorted(self._totals)
 
     def reset(self) -> None:
-        self._totals.clear()
-        self._counts.clear()
+        with self._lock:
+            self._totals.clear()
+            self._counts.clear()
 
 
 def profile_sections(timer: Timer) -> str:

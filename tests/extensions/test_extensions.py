@@ -72,9 +72,9 @@ class TestSecureExchange:
         captured = []
         orig = comm.send_to_server
 
-        def spy(cid, payload):
+        def spy(cid, payload, **kwargs):
             captured.append((cid, payload["masked"][0].copy()))
-            return orig(cid, payload)
+            return orig(cid, payload, **kwargs)
 
         comm.send_to_server = spy
         ex.run(hidden, counts)

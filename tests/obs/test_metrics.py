@@ -1,0 +1,159 @@
+"""Tests for counters, gauges, and streaming-histogram quantiles."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    StreamingHistogram,
+    get_registry,
+    metric_key,
+    set_registry,
+)
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("bytes", kind="weights")
+        c.inc(10)
+        c.inc(5)
+        assert c.value == 15
+
+    def test_same_name_same_tags_shared(self):
+        reg = MetricsRegistry()
+        reg.counter("x", a=1).inc()
+        reg.counter("x", a=1).inc()
+        assert reg.counter("x", a=1).value == 2
+
+    def test_different_tags_distinct(self):
+        reg = MetricsRegistry()
+        reg.counter("x", a=1).inc()
+        assert reg.counter("x", a=2).value == 0
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_gauge_last_write_wins(self):
+        g = MetricsRegistry().gauge("queue")
+        g.set(3.0)
+        g.set(1.5)
+        assert g.value == 1.5
+        assert g.writes == 2
+
+    def test_metric_key_canonical(self):
+        assert metric_key("n", {}) == "n"
+        assert metric_key("n", {"b": 2, "a": 1}) == "n{a=1,b=2}"
+
+    def test_concurrent_counter_increments_lose_nothing(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits")
+        n_threads, n_iters = 8, 500
+
+        def work():
+            for _ in range(n_iters):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == n_threads * n_iters
+
+
+class TestStreamingHistogram:
+    @pytest.mark.parametrize(
+        "sampler",
+        [
+            lambda rng, n: rng.uniform(0.0, 1.0, n),
+            lambda rng, n: rng.normal(0.0, 1.0, n),
+            lambda rng, n: rng.exponential(2.0, n),
+        ],
+    )
+    def test_quantiles_match_numpy_percentile(self, sampler):
+        rng = np.random.default_rng(7)
+        data = sampler(rng, 20_000)
+        h = StreamingHistogram("x")
+        for v in data:
+            h.observe(v)
+        span = float(data.max() - data.min())
+        for q in (0.5, 0.95, 0.99):
+            est = h.quantile(q)
+            ref = float(np.percentile(data, 100 * q))
+            assert abs(est - ref) <= 0.02 * span, f"q={q}: {est} vs {ref}"
+
+    def test_small_sample_is_exact(self):
+        h = StreamingHistogram("x")
+        for v in [3.0, 1.0, 2.0]:
+            h.observe(v)
+        assert h.quantile(0.5) == pytest.approx(2.0)
+
+    def test_count_sum_min_max(self):
+        h = StreamingHistogram("x")
+        for v in [1.0, 2.0, 3.0]:
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(6.0)
+        assert h.min == 1.0 and h.max == 3.0
+        assert h.mean == pytest.approx(2.0)
+
+    def test_empty_is_nan(self):
+        h = StreamingHistogram("x")
+        assert np.isnan(h.quantile(0.5))
+        assert np.isnan(h.mean)
+
+    def test_untracked_quantile_raises(self):
+        h = StreamingHistogram("x")
+        h.observe(1.0)
+        with pytest.raises(KeyError):
+            h.quantile(0.25)
+
+    def test_dump_shape(self):
+        h = StreamingHistogram("x")
+        h.observe(1.0)
+        d = h.dump()
+        assert d["count"] == 1
+        assert set(d["quantiles"]) == {"0.5", "0.95", "0.99"}
+
+
+class TestRegistryDefaults:
+    def test_default_is_null_and_absorbs_writes(self):
+        reg = get_registry()
+        assert reg is NULL_REGISTRY
+        assert not reg.enabled
+        reg.counter("x").inc(100)
+        reg.gauge("y").set(1.0)
+        reg.histogram("z").observe(2.0)
+        assert reg.names() == []
+        assert reg.events() == []
+
+    def test_set_and_restore(self):
+        live = MetricsRegistry()
+        old = set_registry(live)
+        try:
+            assert get_registry() is live
+            get_registry().counter("hit").inc()
+            assert live.counter("hit").value == 1
+        finally:
+            set_registry(old)
+        assert get_registry() is old
+
+    def test_events_export_form(self):
+        reg = MetricsRegistry()
+        reg.counter("c", kind="weights").inc(7)
+        reg.gauge("g").set(1.0)
+        reg.histogram("h").observe(2.0)
+        events = reg.events()
+        assert len(events) == 3
+        kinds = {e["metric"] for e in events}
+        assert kinds == {"counter", "gauge", "histogram"}
+        counter = next(e for e in events if e["metric"] == "counter")
+        assert counter["value"] == 7
+        assert counter["tags"] == {"kind": "weights"}

@@ -1,0 +1,230 @@
+"""End-to-end telemetry: traces are complete, valid, and free of side
+effects on training (the zero-perturbation contract)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FedOMDConfig, FedOMDTrainer
+from repro.federated.comm import KIND_MEANS, KIND_MOMENTS, KIND_WEIGHTS
+from repro.graphs import load_dataset, louvain_partition
+from repro.obs import TelemetrySession, read_jsonl, validate_events
+from repro.reporting import render_report_file, render_run_report
+
+
+@pytest.fixture(scope="module")
+def parts():
+    g = load_dataset("cora", seed=0, scale=0.12)
+    return louvain_partition(g, 3, np.random.default_rng(0)).parts
+
+
+CFG = dict(max_rounds=3, patience=50, hidden=16)
+
+
+def run_fedomd(parts, num_workers=1, session=None):
+    trainer = FedOMDTrainer(parts, FedOMDConfig(num_workers=num_workers, **CFG), seed=0)
+    if session is not None:
+        with session:
+            hist = trainer.run()
+    else:
+        hist = trainer.run()
+    return trainer, hist
+
+
+@pytest.fixture(scope="module")
+def baseline(parts):
+    return run_fedomd(parts)
+
+
+@pytest.fixture(scope="module")
+def traced(parts):
+    session = TelemetrySession(experiment="integration")
+    trainer, hist = run_fedomd(parts, session=session)
+    return trainer, hist, session
+
+
+class TestZeroPerturbation:
+    def test_telemetry_off_vs_on_serial(self, baseline, traced):
+        assert baseline[1].metrics_equal(traced[1])
+
+    def test_telemetry_on_parallel_matches_serial_off(self, parts, baseline):
+        _, hist = run_fedomd(parts, num_workers=4, session=TelemetrySession())
+        assert baseline[1].metrics_equal(hist)
+
+    def test_round_record_timings_populated(self, traced):
+        for rec in traced[1].records:
+            assert rec.wall_time > 0
+            assert rec.exchange_time > 0
+            assert rec.train_time > 0
+            assert rec.agg_time > 0
+            assert rec.eval_time > 0
+            total_phases = (
+                rec.exchange_time + rec.train_time + rec.agg_time + rec.eval_time
+            )
+            assert rec.wall_time == pytest.approx(total_phases, rel=0.05)
+
+
+class TestTraceCoverage:
+    def test_trace_validates(self, traced):
+        assert validate_events(traced[2].events()) > 0
+
+    def test_every_round_has_every_phase(self, traced):
+        events = traced[2].events()
+        num_rounds = len(traced[1].records)
+        for phase in ("round", "exchange", "train", "aggregate", "eval"):
+            rounds = sorted(
+                e["attrs"]["round"]
+                for e in events
+                if e.get("type") == "span" and e["name"] == phase
+            )
+            assert rounds == list(range(num_rounds)), phase
+
+    def test_every_client_has_task_spans(self, traced, parts):
+        events = traced[2].events()
+        num_rounds = len(traced[1].records)
+        for name in ("client.local_train", "client.upload_moments"):
+            tasks = [
+                e for e in events if e.get("type") == "span" and e["name"] == name
+            ]
+            clients = sorted({e["attrs"]["client"] for e in tasks})
+            assert clients == list(range(len(parts))), name
+            assert len(tasks) == num_rounds * len(parts), name
+
+    def test_task_spans_nest_under_phases(self, traced):
+        events = traced[2].events()
+        by_id = {e["span_id"]: e for e in events if e.get("type") == "span"}
+        for e in events:
+            if e.get("type") == "span" and e["name"] == "client.local_train":
+                parent = by_id[e["parent_id"]]
+                assert parent["name"] == "train"
+
+    def test_worker_threads_lose_no_task_spans(self, parts):
+        session = TelemetrySession()
+        _, hist = run_fedomd(parts, num_workers=4, session=session)
+        tasks = [
+            e
+            for e in session.events()
+            if e.get("type") == "span" and e["name"] == "client.local_train"
+        ]
+        assert len(tasks) == len(hist.records) * len(parts)
+
+    def test_backward_and_forward_counters(self, traced):
+        events = traced[2].events()
+        backward = next(
+            e
+            for e in events
+            if e.get("type") == "metric" and e["name"] == "autograd.backward_calls"
+        )
+        # One backward per client per round (local_epochs=1).
+        assert backward["value"] == len(traced[1].records) * 3
+        forwards = [
+            e
+            for e in events
+            if e.get("type") == "metric" and e["name"] == "nn.forward_calls"
+        ]
+        assert forwards and all(e["value"] > 0 for e in forwards)
+        assert any(e["tags"].get("module") == "OrthoGCN" for e in forwards)
+
+    def test_cmd_gauges_per_layer_per_client(self, traced, parts):
+        events = traced[2].events()
+        gauges = [
+            e
+            for e in events
+            if e.get("type") == "metric" and e["name"] == "fedomd.cmd_distance"
+        ]
+        seen = {(e["tags"]["client"], e["tags"]["layer"]) for e in gauges}
+        num_hidden = traced[0].omd_config.num_hidden
+        assert seen == {
+            (c, l) for c in range(len(parts)) for l in range(num_hidden)
+        }
+        assert all(e["value"] >= 0 for e in gauges)
+
+
+class TestCommKindSplit:
+    def test_by_kind_sums_to_totals(self, traced):
+        stats = traced[0].comm.snapshot()
+        assert stats.by_kind, "kind-tagged metering recorded nothing"
+        for field in ("uplink_bytes", "downlink_bytes", "uplink_messages", "downlink_messages"):
+            split = sum(cell[field] for cell in stats.by_kind.values())
+            assert split == getattr(stats, field), field
+
+    def test_exchange_phases_split(self, traced):
+        report = traced[0].statistics_bytes_last_round()
+        p1 = report["statistics_phase1_means_bytes_measured"]
+        p2 = report["statistics_phase2_moments_bytes_measured"]
+        assert p1 > 0 and p2 > 0
+        assert p1 + p2 == report["statistics_bytes_per_round_measured"]
+        # Phase 2 moves K moments per mean: strictly more bytes.
+        assert p2 > p1
+
+    def test_delta_isolates_kinds(self, parts):
+        trainer, _ = run_fedomd(parts)
+        before = trainer.comm.snapshot()
+        trainer.begin_round(999)
+        delta = trainer.comm.snapshot() - before
+        assert set(delta.by_kind) == {KIND_MEANS, KIND_MOMENTS}
+        assert delta.kind_total_bytes(KIND_WEIGHTS) == 0
+
+    def test_as_dict_carries_kind_columns(self, traced):
+        d = traced[0].comm.snapshot().as_dict()
+        assert f"{KIND_WEIGHTS}_uplink_bytes" in d
+        assert f"{KIND_MEANS}_downlink_bytes" in d
+
+
+class TestReportRenderer:
+    def test_render_from_live_session(self, traced):
+        out = render_run_report(traced[2].events())
+        for needle in (
+            "round timeline",
+            "phase summary",
+            "per-client",
+            "communication breakdown",
+            "client[0]",
+            "weights",
+            "moments",
+        ):
+            assert needle in out, needle
+
+    def test_jsonl_round_trips_through_renderer(self, traced, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        traced[2].save(path)
+        events = read_jsonl(path)
+        validate_events(events)
+        assert render_run_report(events) == render_run_report(traced[2].events())
+        assert "communication breakdown" in render_report_file(path)
+
+    def test_renderer_degrades_on_partial_traces(self):
+        meta = {"type": "meta", "schema": "repro.obs/v1", "attrs": {}}
+        out = render_run_report([meta])
+        assert "no span events" in out
+        assert "no comm.bytes metrics" in out
+
+
+class TestCli:
+    def test_telemetry_flag_and_report_subcommand(self, tmp_path, capsys, monkeypatch):
+        from repro.experiments.__main__ import main
+        from repro.experiments.registry import REGISTRY
+        from repro.experiments.runner import ExperimentResult
+        from repro.obs import get_tracer
+
+        def fake_experiment(mode="quick", out_dir=None):
+            with get_tracer().span("round", round=0):
+                pass
+            return ExperimentResult(name="fake", headers=["x"], rows=[["1"]])
+
+        monkeypatch.setitem(REGISTRY, "faketel", fake_experiment)
+        trace = str(tmp_path / "cli.jsonl")
+        assert main(["faketel", "--mode", "smoke", "--telemetry", trace]) == 0
+        events = read_jsonl(trace)
+        validate_events(events)
+        assert any(e.get("name") == "round" for e in events)
+
+        capsys.readouterr()
+        assert main(["report", trace]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry run report" in out
+
+    def test_report_requires_trace_path(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["report"])

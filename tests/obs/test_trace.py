@@ -1,0 +1,205 @@
+"""Tests for span tracing and the JSONL export/validation layer."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    SCHEMA_VERSION,
+    TelemetrySession,
+    Tracer,
+    get_tracer,
+    read_jsonl,
+    set_tracer,
+    validate_event,
+    validate_events,
+    write_jsonl,
+)
+
+
+class TestSpans:
+    def test_span_records_event(self):
+        tr = Tracer()
+        with tr.span("work", round=3):
+            pass
+        events = tr.events()
+        assert len(events) == 1
+        (e,) = events
+        assert e["type"] == "span"
+        assert e["name"] == "work"
+        assert e["attrs"] == {"round": 3}
+        assert e["t_end"] >= e["t_start"]
+        assert e["dur"] == pytest.approx(e["t_end"] - e["t_start"])
+
+    def test_nesting_via_thread_local_stack(self):
+        tr = Tracer()
+        with tr.span("outer") as outer:
+            assert tr.current() is outer
+            with tr.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        assert tr.current() is None
+        by_name = {e["name"]: e for e in tr.events()}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["outer"]["parent_id"] is None
+
+    def test_explicit_parent_beats_stack(self):
+        tr = Tracer()
+        with tr.span("a") as a:
+            pass
+        with tr.span("b"):
+            with tr.span("child", parent=a) as child:
+                assert child.parent_id == a.span_id
+
+    def test_span_ids_unique(self):
+        tr = Tracer()
+        for _ in range(50):
+            with tr.span("s"):
+                pass
+        ids = [e["span_id"] for e in tr.events()]
+        assert len(set(ids)) == len(ids)
+
+    def test_duration_while_open(self):
+        tr = Tracer()
+        with tr.span("s") as s:
+            assert s.duration >= 0.0
+        assert s.t_end is not None
+
+    def test_exception_still_closes_span(self):
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            with tr.span("boom"):
+                raise ValueError
+        assert len(tr.events()) == 1
+        assert tr.current() is None
+
+    def test_concurrent_emission_loses_no_events(self):
+        tr = Tracer()
+        n_threads, n_spans = 8, 100
+
+        def work(i):
+            for j in range(n_spans):
+                with tr.span("task", thread=i, j=j):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        events = tr.events()
+        assert len(events) == n_threads * n_spans
+        ids = {e["span_id"] for e in events}
+        assert len(ids) == n_threads * n_spans
+        # Each thread's own spans are all present.
+        for i in range(n_threads):
+            mine = [e for e in events if e["attrs"]["thread"] == i]
+            assert sorted(e["attrs"]["j"] for e in mine) == list(range(n_spans))
+
+    def test_null_tracer_times_but_records_nothing(self):
+        sp = NULL_TRACER.span("phase")
+        with sp:
+            pass
+        assert sp.t_end is not None and sp.duration >= 0.0
+        assert len(NULL_TRACER.events()) == 0
+        assert NULL_TRACER.current() is None
+
+    def test_default_tracer_is_null(self):
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_and_restore(self):
+        live = Tracer()
+        old = set_tracer(live)
+        try:
+            assert get_tracer() is live
+        finally:
+            set_tracer(old)
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        tr = Tracer()
+        with tr.span("round", round=0):
+            with tr.span("train", round=0):
+                pass
+        path = str(tmp_path / "trace.jsonl")
+        events = [{"type": "meta", "schema": SCHEMA_VERSION, "attrs": {}}] + tr.events()
+        assert write_jsonl(path, events) == 3
+        loaded = read_jsonl(path)
+        assert loaded == json.loads(json.dumps(events))
+        assert validate_events(loaded) == 3
+
+    def test_validate_rejects_bad_events(self):
+        with pytest.raises(ValueError):
+            validate_event({"type": "nope"})
+        with pytest.raises(ValueError):
+            validate_event({"type": "meta", "schema": "wrong/v9"})
+        with pytest.raises(ValueError):
+            validate_event(
+                {
+                    "type": "span",
+                    "name": "x",
+                    "span_id": 0,  # ids start at 1
+                    "parent_id": None,
+                    "t_start": 0.0,
+                    "t_end": 1.0,
+                    "dur": 1.0,
+                }
+            )
+        with pytest.raises(ValueError):
+            validate_event(
+                {
+                    "type": "span",
+                    "name": "x",
+                    "span_id": 1,
+                    "parent_id": None,
+                    "t_start": 2.0,
+                    "t_end": 1.0,  # ends before it starts
+                    "dur": -1.0,
+                }
+            )
+        with pytest.raises(ValueError):
+            validate_event({"type": "metric", "metric": "counter", "name": "x"})
+
+    def test_validate_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            validate_events([])
+
+    def test_validation_error_carries_index(self):
+        good = {"type": "meta", "schema": SCHEMA_VERSION, "attrs": {}}
+        with pytest.raises(ValueError, match="event 1"):
+            validate_events([good, {"type": "bogus"}])
+
+
+class TestTelemetrySession:
+    def test_installs_and_restores_defaults(self):
+        from repro.obs import NULL_REGISTRY, get_registry
+
+        with TelemetrySession() as tel:
+            assert get_tracer() is tel.tracer
+            assert get_registry() is tel.registry
+        assert get_tracer() is NULL_TRACER
+        assert get_registry() is NULL_REGISTRY
+
+    def test_saves_valid_jsonl(self, tmp_path):
+        path = str(tmp_path / "out.jsonl")
+        with TelemetrySession(path, experiment="unit") as tel:
+            with get_tracer().span("round", round=0):
+                pass
+            from repro.obs import get_registry
+
+            get_registry().counter("comm.bytes", direction="uplink", kind="weights").inc(8)
+        events = read_jsonl(path)
+        assert validate_events(events) == 3
+        assert events[0]["type"] == "meta"
+        assert events[0]["attrs"]["experiment"] == "unit"
+
+    def test_double_install_raises(self):
+        with TelemetrySession() as tel:
+            with pytest.raises(RuntimeError):
+                tel.install()
+
+    def test_save_without_path_raises(self):
+        with pytest.raises(ValueError):
+            TelemetrySession().save()

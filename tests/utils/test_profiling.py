@@ -1,5 +1,6 @@
 """Tests for the timing utilities."""
 
+import threading
 import time
 
 import pytest
@@ -55,6 +56,46 @@ class TestTimer:
             with t("boom"):
                 raise ValueError
         assert t.count("boom") == 1
+
+    def test_nested_sections_do_not_corrupt(self):
+        # The old single-slot implementation attributed the outer
+        # section's time to the inner label; nesting must keep both.
+        t = Timer()
+        with t("outer"):
+            with t("inner"):
+                time.sleep(0.01)
+            time.sleep(0.01)
+        assert t.count("outer") == 1 and t.count("inner") == 1
+        assert t.total("inner") >= 0.01
+        assert t.total("outer") >= t.total("inner") + 0.01
+
+    def test_deep_nesting_same_label(self):
+        t = Timer()
+        with t("a"):
+            with t("a"):
+                with t("a"):
+                    pass
+        assert t.count("a") == 3
+
+    def test_concurrent_threads(self):
+        t = Timer()
+        n_threads, n_iters = 8, 50
+
+        def work(i):
+            for _ in range(n_iters):
+                with t(f"thread{i}"):
+                    pass
+                with t("shared"):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(n_threads)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert t.count("shared") == n_threads * n_iters
+        for i in range(n_threads):
+            assert t.count(f"thread{i}") == n_iters
 
 
 class TestProfileSections:
