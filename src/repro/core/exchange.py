@@ -85,9 +85,12 @@ class MomentExchange:
         client_ids:
             Communicator ids of the participants (default ``0..m-1``,
             i.e. full participation).  With client sampling
-            (``participation_rate < 1``) only sampled parties upload
-            statistics and receive the global summary — unsampled
-            parties move zero bytes through the metered channel.
+            (``participation_rate < 1``) or fault injection, only
+            sampled *reachable* parties upload statistics and receive
+            the global summary — unsampled or failed parties move zero
+            bytes through the metered channel, and the weights ``n_i``
+            renormalize over the survivors (line 25 computed over
+            whoever actually reported).
 
         Returns
         -------

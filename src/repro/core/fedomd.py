@@ -87,9 +87,10 @@ class FedOMDTrainer(FederatedTrainer):
         parts: Sequence[Graph],
         config: Optional[FedOMDConfig] = None,
         seed: int = 0,
+        faults=None,
     ) -> None:
         self.omd_config: FedOMDConfig = config or FedOMDConfig()
-        super().__init__(parts, self.omd_config, seed=seed)
+        super().__init__(parts, self.omd_config, seed=seed, faults=faults)
         self.exchange = MomentExchange(self.comm, orders=self.omd_config.orders)
         self._global_moments: Optional[GlobalMoments] = None
         self._range: tuple = self.omd_config.activation_range or (0.0, 1.0)
@@ -109,16 +110,24 @@ class FedOMDTrainer(FederatedTrainer):
     def begin_round(self, round_idx: int) -> None:
         """Run the 2-round moment exchange before local training.
 
-        Only the round's *participants* compute and upload statistics:
-        with client sampling, unsampled parties are offline — they must
-        not be billed on the metered channel nor skew the "IID" moments
-        toward data that is not training this round.  Their forward
-        passes run through the :class:`ClientExecutor` (read-only model
-        + private graph per client, so they parallelize cleanly).
+        Only the round's *active participants* compute and upload
+        statistics: with client sampling, unsampled parties are offline,
+        and under fault injection, dropped clients are unreachable —
+        neither must be billed on the metered channel nor skew the "IID"
+        moments toward data that is not training this round (the
+        surviving ``n_i`` reweight among themselves in
+        ``weighted_mean_statistics``).  When *no* client is reachable
+        the exchange is skipped and clients train against the last
+        round's global moments — the stale-but-available policy.
+        Forward passes run through the :class:`ClientExecutor`
+        (read-only model + private graph per client, so they
+        parallelize cleanly).
         """
         if not self.omd_config.use_cmd:
             return
-        participants = self.participating_clients()
+        participants = self.active_clients()
+        if not participants:
+            return
 
         def detached_hidden(c: Client) -> List[np.ndarray]:
             c.model.eval()
@@ -195,10 +204,11 @@ class FedOMDTrainer(FederatedTrainer):
 
     def after_local_training(self, round_idx: int) -> None:
         if self.omd_config.hard_orthogonal:
-            # Only participants trained this round; projecting an
-            # unsampled (offline) party would mutate state the server
-            # never saw and de-sync it from its own last download.
-            for c in self.participating_clients():
+            # Only clients that actually trained this round; projecting
+            # an unsampled (offline) or failed party would mutate state
+            # the server never saw and de-sync it from its own last
+            # download.
+            for c in self.active_clients():
                 c.model.project_orthogonal()  # type: ignore[attr-defined]
 
     # ------------------------------------------------------------------

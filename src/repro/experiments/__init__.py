@@ -36,6 +36,7 @@ from repro.experiments import fig5  # noqa: F401
 from repro.experiments import fig6  # noqa: F401
 from repro.experiments import fig7  # noqa: F401
 from repro.experiments import extensions  # noqa: F401
+from repro.experiments import chaos  # noqa: F401
 
 __all__ = [
     "REGISTRY",

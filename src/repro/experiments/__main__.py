@@ -18,11 +18,11 @@ from repro.experiments.registry import REGISTRY, get_experiment
 from repro.experiments.runner import default_out_dir
 
 
-def _run_experiments(names, mode: str, out_dir: str) -> None:
+def _run_experiments(names, mode: str, out_dir: str, extra=None) -> None:
     for name in names:
         fn = get_experiment(name)
         t0 = time.time()
-        result = fn(mode=mode, out_dir=out_dir)
+        result = fn(mode=mode, out_dir=out_dir, **(extra or {}))
         print(result.render())
         print(f"[{name}] done in {time.time() - t0:.1f}s → {out_dir}/{name}.csv\n")
 
@@ -47,6 +47,37 @@ def main(argv=None) -> int:
         metavar="PATH",
         help="write a JSONL telemetry trace of the run to PATH",
     )
+    chaos = parser.add_argument_group(
+        "chaos", "fault injection + checkpoint/resume (chaos experiment only)"
+    )
+    chaos.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="fault plan, e.g. 'drop=0.2,straggler=0.1:delay=0.05,crash=0.1'",
+    )
+    chaos.add_argument(
+        "--fault-seed", type=int, default=0, help="seed of the fault plan RNG"
+    )
+    chaos.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="resume from a trainer checkpoint (.ckpt.npz)",
+    )
+    chaos.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="save a resumable checkpoint every N rounds (0 = off)",
+    )
+    chaos.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for --checkpoint-every snapshots",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "report":
@@ -61,6 +92,30 @@ def main(argv=None) -> int:
 
     names = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]
     out_dir = args.out or default_out_dir(args.mode)
+
+    chaos_flags = {
+        "--faults": args.faults,
+        "--resume": args.resume,
+        "--checkpoint-dir": args.checkpoint_dir,
+    }
+    if args.checkpoint_every:
+        chaos_flags["--checkpoint-every"] = args.checkpoint_every
+    extra = None
+    if args.experiment == "chaos":
+        extra = dict(
+            faults=args.faults,
+            fault_seed=args.fault_seed,
+            resume=args.resume,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+    else:
+        used = [flag for flag, value in chaos_flags.items() if value is not None]
+        if used:
+            parser.error(
+                f"{', '.join(used)} only apply to the 'chaos' experiment"
+            )
+
     if args.telemetry:
         from repro.obs import TelemetrySession
 
@@ -68,10 +123,10 @@ def main(argv=None) -> int:
             args.telemetry, experiment=args.experiment, mode=args.mode
         )
         with session:
-            _run_experiments(names, args.mode, out_dir)
+            _run_experiments(names, args.mode, out_dir, extra)
         print(f"[telemetry] {len(session.events())} events → {args.telemetry}")
     else:
-        _run_experiments(names, args.mode, out_dir)
+        _run_experiments(names, args.mode, out_dir, extra)
     return 0
 
 

@@ -1,0 +1,112 @@
+"""Chaos run: FedOMD under deterministic fault injection (CLI surface).
+
+``python -m repro.experiments chaos --faults "drop=0.2,crash=0.1"`` runs
+one federated training on the Cora twin with the given fault plan and
+reports what the resilience layer did about it: faults injected by kind,
+clients excluded, retries recovered, NaN uploads quarantined, and the
+accuracy the run still reached.  ``--checkpoint-every N`` +
+``--checkpoint-dir D`` save resumable snapshots; ``--resume PATH``
+continues a killed run bit-for-bit (see
+:mod:`repro.federated.checkpoint`).
+
+This doubles as the manual chaos-drill entry point: the same invariants
+``tests/chaos/`` asserts (no crash, graceful degradation, deterministic
+given the fault seed) can be eyeballed here on bigger configs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core import FedOMDConfig, FedOMDTrainer
+from repro.experiments.configs import (
+    CHAOS_DATASET,
+    CHAOS_FAULTS_DEFAULT,
+    CHAOS_PARTIES,
+)
+from repro.experiments.registry import register
+from repro.experiments.runner import MODE_PARAMS, ExperimentResult
+from repro.federated.faults import FAULT_KINDS, FaultPlan
+from repro.graphs import load_dataset, louvain_partition
+from repro.obs import TelemetrySession, get_registry
+
+
+def _counter_value(registry, name: str, **tags) -> int:
+    """Final value of a counter instrument (0 when it never fired)."""
+    return int(registry.counter(name, **tags).value)
+
+
+@register("chaos")
+def run(
+    mode: str = "quick",
+    out_dir: str = "results/quick",
+    faults: Optional[str] = None,
+    fault_seed: int = 0,
+    seed: int = 0,
+    resume: Optional[str] = None,
+    checkpoint_every: int = 0,
+    checkpoint_dir: Optional[str] = None,
+    num_workers: int = 1,
+) -> ExperimentResult:
+    params = MODE_PARAMS[mode]
+    spec = faults or CHAOS_FAULTS_DEFAULT
+    plan = FaultPlan.from_spec(spec, seed=fault_seed)
+
+    g = load_dataset(CHAOS_DATASET, seed=seed, scale=params.scale)
+    parts = louvain_partition(g, CHAOS_PARTIES, np.random.default_rng(seed)).parts
+    cfg = FedOMDConfig(
+        max_rounds=params.max_rounds,
+        patience=params.patience,
+        hidden=params.hidden,
+        num_workers=num_workers,
+        client_timeout=0.05,
+        client_retries=1,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+    )
+
+    # Fault counters need a live registry; reuse the CLI's telemetry
+    # session when one is installed, otherwise run a private one.
+    own_session = None
+    if not get_registry().enabled:
+        own_session = TelemetrySession(experiment="chaos").install()
+    try:
+        trainer = FedOMDTrainer(parts, cfg, seed=seed, faults=plan)
+        resumed_from = None
+        if resume is not None:
+            resumed_from = trainer.resume(resume)._start_round
+        history = trainer.run()
+        registry = get_registry()
+        result = ExperimentResult(
+            name="chaos",
+            headers=["fault kind", "injected", "excluded"],
+            meta={
+                "faults": plan.describe(),
+                "rounds": str(len(history)),
+                "final_test_acc": f"{history.final_test_accuracy():.4f}",
+                **(
+                    {"resumed_from_round": str(resumed_from)}
+                    if resumed_from is not None
+                    else {}
+                ),
+            },
+        )
+        for kind in FAULT_KINDS:
+            result.add(
+                kind,
+                _counter_value(registry, "faults.injected", kind=kind),
+                _counter_value(registry, "faults.excluded", kind=kind),
+            )
+        result.add(
+            "quarantine",
+            _counter_value(registry, "faults.quarantined"),
+            _counter_value(registry, "faults.excluded", kind="quarantine"),
+        )
+        result.add("recovered", _counter_value(registry, "faults.recovered", kind="straggler"), "-")
+    finally:
+        if own_session is not None:
+            own_session.uninstall()
+    result.save(out_dir)
+    return result

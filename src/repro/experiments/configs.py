@@ -42,5 +42,18 @@ BENCH_PARALLEL_WORKERS = 4
 BENCH_PARALLEL_ROUNDS = 3
 
 
+# Chaos drill (experiments/chaos.py + tests/chaos/): the fault-injection
+# run. 5 parties so every fault kind has room to hit a different client;
+# default plan exercises all four kinds at rates low enough that a
+# quorum always survives.
+CHAOS_DATASET = "cora"
+CHAOS_PARTIES = 5
+# Straggler delay deliberately exceeds the trainer's client timeout so
+# the default drill also exercises the timeout→retry recovery path.
+CHAOS_FAULTS_DEFAULT = (
+    "drop=0.1,straggler=0.15:delay=0.1,corrupt=0.1:mode=nan,crash=0.05"
+)
+
+
 def paper_resolution(dataset: str) -> float:
     return PAPER_RESOLUTION.get(dataset, 1.0)

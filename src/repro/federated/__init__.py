@@ -22,8 +22,27 @@ Key pieces:
 
 from repro.federated.comm import Communicator, CommStats, payload_bytes
 from repro.federated.executor import ClientExecutor, resolve_workers
+from repro.federated.faults import (
+    ClientCrashed,
+    ClientDropped,
+    ClientFaultError,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    FaultingExecutor,
+    FaultyCommunicator,
+    ResiliencePolicy,
+    corrupt_payload,
+    payload_is_finite,
+)
 from repro.federated.server import fedavg, uniform_fedavg
 from repro.federated.client import Client
+from repro.federated.checkpoint import (
+    checkpoint_path,
+    load_trainer_checkpoint,
+    save_trainer_checkpoint,
+)
 from repro.federated.history import RoundRecord, TrainingHistory
 from repro.federated.trainer import FederatedTrainer, TrainerConfig
 
@@ -33,6 +52,21 @@ __all__ = [
     "payload_bytes",
     "ClientExecutor",
     "resolve_workers",
+    "ClientCrashed",
+    "ClientDropped",
+    "ClientFaultError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultingExecutor",
+    "FaultyCommunicator",
+    "ResiliencePolicy",
+    "corrupt_payload",
+    "payload_is_finite",
+    "checkpoint_path",
+    "load_trainer_checkpoint",
+    "save_trainer_checkpoint",
     "fedavg",
     "uniform_fedavg",
     "Client",

@@ -30,11 +30,20 @@ from repro.autograd import Tensor
 from repro.federated.client import Client
 from repro.federated.comm import Communicator, KIND_WEIGHTS
 from repro.federated.executor import ClientExecutor
+from repro.federated.faults import (
+    ClientDropped,
+    FaultInjector,
+    FaultPlan,
+    FaultingExecutor,
+    FaultyCommunicator,
+    ResiliencePolicy,
+    payload_is_finite,
+)
 from repro.federated.history import RoundRecord, TrainingHistory
 from repro.federated.server import fedavg
 from repro.graphs.data import Graph
 from repro.nn.module import Module
-from repro.obs import get_tracer
+from repro.obs import get_registry, get_tracer
 
 
 @dataclass
@@ -62,6 +71,24 @@ class TrainerConfig:
     # Parallel and serial runs produce identical training metrics; see
     # repro.federated.executor for the determinism contract.
     num_workers: int = 1
+    # ---- resilience policy (see repro.federated.faults) ----------------
+    # Per-client round deadline in seconds; a client that cannot answer
+    # within it is retried (below) and then excluded from the round.
+    # None = wait forever (stragglers slow the round but never fail).
+    client_timeout: Optional[float] = None
+    # Retries (with exponential-free fixed backoff) after a timeout.
+    client_retries: int = 0
+    retry_backoff: float = 0.0
+    # Server-side quarantine: uploads containing NaN/inf are excluded
+    # from FedAvg (and their n_i removed from the denominator) instead
+    # of poisoning the global model.
+    quarantine_nonfinite: bool = True
+    # ---- checkpoint/resume ---------------------------------------------
+    # Save a full trainer checkpoint every N rounds (0 = off) into
+    # checkpoint_dir; FederatedTrainer.resume() restores it so the
+    # continued run is bitwise-identical to an uninterrupted one.
+    checkpoint_every: int = 0
+    checkpoint_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_rounds < 1 or self.local_epochs < 1:
@@ -72,6 +99,14 @@ class TrainerConfig:
             raise ValueError("participation_rate must be in (0, 1]")
         if self.num_workers < 0:
             raise ValueError("num_workers must be >= 0 (0 = auto)")
+        if self.client_timeout is not None and self.client_timeout <= 0:
+            raise ValueError("client_timeout must be positive (or None)")
+        if self.client_retries < 0 or self.retry_backoff < 0:
+            raise ValueError("client_retries and retry_backoff must be >= 0")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0 (0 = off)")
+        if self.checkpoint_every > 0 and not self.checkpoint_dir:
+            raise ValueError("checkpoint_every needs a checkpoint_dir")
 
 
 class FederatedTrainer:
@@ -84,16 +119,37 @@ class FederatedTrainer:
         parts: Sequence[Graph],
         config: Optional[TrainerConfig] = None,
         seed: int = 0,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if not parts:
             raise ValueError("need at least one party")
         self.config = config or TrainerConfig()
         self.seed = seed
-        self.comm = Communicator(num_clients=len(parts))
         self.executor = ClientExecutor(self.config.num_workers)
+        if faults is not None:
+            policy = ResiliencePolicy(
+                client_timeout=self.config.client_timeout,
+                client_retries=self.config.client_retries,
+                retry_backoff=self.config.retry_backoff,
+            )
+            self.injector: Optional[FaultInjector] = FaultInjector(faults, policy)
+            self.comm: Communicator = FaultyCommunicator(len(parts), self.injector)
+            self.fault_executor: Optional[FaultingExecutor] = FaultingExecutor(
+                self.executor, self.injector
+            )
+        else:
+            self.injector = None
+            self.comm = Communicator(num_clients=len(parts))
+            self.fault_executor = None
         self.history = TrainingHistory()
         self._round_rng = np.random.default_rng(seed + 99991)
         self._participants: Optional[List[int]] = None
+        # Early-stopping state lives on the instance (not run() locals) so
+        # checkpoint/resume can capture and replay it exactly.
+        self._start_round = 0
+        self._best_val = -np.inf
+        self._best_states: Optional[List[Dict[str, np.ndarray]]] = None
+        self._rounds_since_best = 0
         self.clients: List[Client] = []
         for cid, g in enumerate(parts):
             # Same seed for every client: all parties start from one
@@ -126,6 +182,20 @@ class FederatedTrainer:
             return self.clients
         return [self.clients[i] for i in self._participants]
 
+    def active_clients(self) -> List[Client]:
+        """This round's sampled clients minus any that have failed.
+
+        Without fault injection this is exactly
+        :meth:`participating_clients`; under a fault plan, dropped /
+        crashed / timed-out clients disappear from here — and therefore
+        from local training, the moment exchange, and FedAvg — for the
+        rest of the round.
+        """
+        participants = self.participating_clients()
+        if self.injector is None:
+            return participants
+        return self.injector.active(participants)
+
     def _sample_participants(self) -> None:
         rate = self.config.participation_rate
         if rate >= 1.0:
@@ -136,16 +206,43 @@ class FederatedTrainer:
         self._participants = sorted(self._round_rng.choice(m, size=k, replace=False).tolist())
 
     def aggregate(self) -> Optional[Dict[str, np.ndarray]]:
-        """Collect participant states, return the new global state."""
-        participants = self.participating_clients()
-        states = [c.get_state() for c in participants]
-        # Meter the uplink as if only participants reported (they did).
-        for c, s in zip(participants, states):
-            self.comm.send_to_server(c.cid, s, kind=KIND_WEIGHTS)
+        """Collect surviving clients' states, return the new global state.
+
+        Aggregates what the *server received* (the metered — and, under
+        fault injection, possibly corrupted — payload), not the client's
+        in-memory state: the two only differ when the channel misbehaves,
+        which is exactly when the difference matters.  Uploads that
+        arrive non-finite are quarantined: excluded from FedAvg with
+        their ``n_i`` removed from the denominator, so survivors are
+        reweighted over whoever actually contributed.  Returns ``None``
+        (keep the previous global model) when nobody survives.
+        """
+        states: List[Dict[str, np.ndarray]] = []
+        kept: List[Client] = []
+        for c in self.active_clients():
+            try:
+                payload = self.comm.send_to_server(c.cid, c.get_state(), kind=KIND_WEIGHTS)
+            except ClientDropped:
+                continue
+            if self.config.quarantine_nonfinite and not payload_is_finite(payload):
+                self._quarantine(c)
+                continue
+            states.append(payload)
+            kept.append(c)
+        if not states:
+            return None
         weights = (
-            [max(c.num_train, 1) for c in participants] if self.config.sample_weighted else None
+            [max(c.num_train, 1) for c in kept] if self.config.sample_weighted else None
         )
         return fedavg(states, weights)
+
+    def _quarantine(self, client: Client) -> None:
+        """Record a non-finite upload and exclude the client this round."""
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter("faults.quarantined").inc()
+        if self.injector is not None:
+            self.injector.mark_failed(client.cid, "quarantine")
 
     def after_local_training(self, round_idx: int) -> None:
         """Hook after local epochs, before aggregation (default: none)."""
@@ -189,20 +286,51 @@ class FederatedTrainer:
                 for _ in range(cfg.local_epochs)
             ]
 
-        per_client = self.executor.map(
-            local_epochs,
-            self.participating_clients(),
-            span="client.local_train",
-            attrs=lambda c: {"client": c.cid},
-        )
+        clients = self.active_clients()
+        if self.fault_executor is not None:
+            survivors = self.fault_executor.map_surviving(
+                local_epochs,
+                clients,
+                span="client.local_train",
+                attrs=lambda c: {"client": c.cid},
+            )
+            per_client = [losses for _, losses in survivors]
+        else:
+            per_client = self.executor.map(
+                local_epochs,
+                clients,
+                span="client.local_train",
+                attrs=lambda c: {"client": c.cid},
+            )
         return [loss for client_losses in per_client for loss in client_losses]
+
+    def resume(self, path: str) -> "FederatedTrainer":
+        """Restore a :func:`save_trainer_checkpoint` snapshot in place.
+
+        The trainer must be constructed exactly as the checkpointed one
+        (same parts, config, seed); :meth:`run` then continues from the
+        saved round and reproduces the uninterrupted run bit for bit.
+        """
+        from repro.federated.checkpoint import load_trainer_checkpoint
+
+        load_trainer_checkpoint(self, path)
+        return self
+
+    def _maybe_checkpoint(self, round_idx: int) -> None:
+        cfg = self.config
+        if cfg.checkpoint_every <= 0:
+            return
+        if (round_idx + 1) % cfg.checkpoint_every != 0:
+            return
+        from repro.federated.checkpoint import checkpoint_path, save_trainer_checkpoint
+
+        save_trainer_checkpoint(
+            self, checkpoint_path(cfg.checkpoint_dir), next_round=round_idx + 1
+        )
 
     def run(self, verbose: bool = False) -> TrainingHistory:
         """Train until ``max_rounds`` or patience exhaustion; return history."""
         cfg = self.config
-        best_val = -np.inf
-        best_states: Optional[List[Dict[str, np.ndarray]]] = None
-        rounds_since_best = 0
 
         # Phase timings come from spans: the tracer is the null tracer by
         # default, whose spans still carry perf_counter timestamps, so the
@@ -210,10 +338,12 @@ class FederatedTrainer:
         # ad-hoc perf_counter blocks took — telemetry on merely *records*
         # the same spans to the trace.
         tracer = get_tracer()
-        for round_idx in range(cfg.max_rounds):
+        for round_idx in range(self._start_round, cfg.max_rounds):
             with tracer.span("round", round=round_idx) as sp_round:
                 with tracer.span("exchange", round=round_idx) as sp_exchange:
                     self._sample_participants()
+                    if self.injector is not None:
+                        self.injector.begin_round(round_idx, len(self.clients))
                     self.begin_round(round_idx)
 
                 with tracer.span("train", round=round_idx) as sp_train:
@@ -254,18 +384,20 @@ class FederatedTrainer:
                             f"loss {self.history.records[-1].train_loss:.4f} "
                             f"val {val_acc:.4f} test {test_acc:.4f}"
                         )
-                    if val_acc > best_val:
-                        best_val = val_acc
-                        best_states = [c.get_state() for c in self.clients]
-                        rounds_since_best = 0
+                    if val_acc > self._best_val:
+                        self._best_val = val_acc
+                        self._best_states = [c.get_state() for c in self.clients]
+                        self._rounds_since_best = 0
                     else:
-                        rounds_since_best += cfg.eval_every
-                    if rounds_since_best >= cfg.patience:
+                        self._rounds_since_best += cfg.eval_every
+                    if self._rounds_since_best >= cfg.patience:
+                        self._maybe_checkpoint(round_idx)
                         break
+                self._maybe_checkpoint(round_idx)
 
         # Restore the best-validation snapshot (standard early stopping).
-        if best_states is not None:
-            for client, state in zip(self.clients, best_states):
+        if self._best_states is not None:
+            for client, state in zip(self.clients, self._best_states):
                 client.set_state(state)
         # Release idle pool threads; the executor respawns lazily if the
         # trainer is evaluated or resumed afterwards.

@@ -42,6 +42,20 @@ class Optimizer:
             g = g + self.weight_decay * p.data
         return g
 
+    # -- checkpointing ----------------------------------------------------
+    def state_dict(self) -> dict:
+        """Internal state (copied) for checkpoint/resume.
+
+        Base optimizers are stateless; subclasses with moment estimates
+        override both methods.  Hyper-parameters are not included — they
+        come from the config that rebuilt the optimizer.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        if state:
+            raise ValueError(f"{type(self).__name__} carries no state, got {set(state)}")
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional classical momentum."""
@@ -68,6 +82,20 @@ class SGD(Optimizer):
                 v += g
                 g = v
             p.data -= self.lr * g
+
+    def state_dict(self) -> dict:
+        if self._velocity is None:
+            return {}
+        return {"velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: dict) -> None:
+        if self._velocity is None:
+            super().load_state_dict(state)
+            return
+        if set(state) != {"velocity"} or len(state["velocity"]) != len(self._velocity):
+            raise ValueError("SGD momentum state mismatch")
+        for dst, src in zip(self._velocity, state["velocity"]):
+            dst[...] = src
 
 
 class Adam(Optimizer):
@@ -116,3 +144,27 @@ class Adam(Optimizer):
             m[...] = 0.0
         for v in self._v:
             v[...] = 0.0
+
+    def state_dict(self) -> dict:
+        """Step count + moment estimates — everything resume needs for
+        bitwise-identical continuation of the update sequence."""
+        return {
+            "t": self.t,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if set(state) != {"t", "m", "v"}:
+            raise ValueError(f"Adam state needs keys t/m/v, got {set(state)}")
+        if len(state["m"]) != len(self._m) or len(state["v"]) != len(self._v):
+            raise ValueError("Adam state has wrong number of moment buffers")
+        self.t = int(state["t"])
+        for dst, src in zip(self._m, state["m"]):
+            if dst.shape != np.shape(src):
+                raise ValueError("Adam first-moment shape mismatch")
+            dst[...] = src
+        for dst, src in zip(self._v, state["v"]):
+            if dst.shape != np.shape(src):
+                raise ValueError("Adam second-moment shape mismatch")
+            dst[...] = src

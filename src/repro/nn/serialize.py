@@ -59,3 +59,35 @@ def load_checkpoint(module: Module, path: str, strict: bool = True) -> Tuple[Mod
         meta_raw = data[_META_KEY].tobytes().decode() if _META_KEY in data.files else "{}"
     module.load_state_dict(state, strict=strict)
     return module, json.loads(meta_raw)
+
+
+def save_arrays(path: str, arrays: Dict[str, np.ndarray], metadata: Optional[Dict] = None) -> str:
+    """Arbitrary named-array bundle + JSON metadata in one npz file.
+
+    The generic substrate under multi-model checkpoints (the federated
+    trainer saves every client's model *and* optimizer buffers plus the
+    early-stopping snapshot through this).  Keys may contain ``/`` to
+    namespace (``client0/conv1.weight``); values must be ndarrays.
+    Metadata must be JSON-serializable; NaN/inf floats are allowed
+    (Python's json round-trips them).
+    """
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    payload: Dict[str, np.ndarray] = {}
+    for k, v in arrays.items():
+        if k == _META_KEY:
+            raise ValueError(f"array key {k!r} is reserved")
+        payload[k] = np.asarray(v)
+    meta = json.dumps(metadata or {})
+    payload[_META_KEY] = np.frombuffer(meta.encode(), dtype=np.uint8)
+    np.savez(path, **payload)
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def load_arrays(path: str) -> Tuple[Dict[str, np.ndarray], Dict]:
+    """Inverse of :func:`save_arrays`: ``(arrays, metadata)``."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path) as data:
+        arrays = {k: data[k] for k in data.files if k != _META_KEY}
+        meta_raw = data[_META_KEY].tobytes().decode() if _META_KEY in data.files else "{}"
+    return arrays, json.loads(meta_raw)

@@ -108,3 +108,54 @@ def test_double_backward_accumulates_exactly_twice(a):
     g1 = x.grad.copy()
     tsum(mul(x, x)).backward()
     np.testing.assert_allclose(x.grad, 2 * g1, atol=1e-12)
+
+
+# ---- scatter/gather and norms (the GAT edge-softmax building blocks) ----
+
+from repro.autograd import gradcheck
+from repro.autograd.ops_reduce import frobenius_norm, l2_norm
+from repro.autograd.ops_shape import scatter_add
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays((6, 3)))
+def test_scatter_add_preserves_total(a):
+    # Segment sums partition the rows: the grand total is unchanged.
+    idx = np.array([0, 1, 0, 2, 1, 0])
+    out = scatter_add(Tensor(a), idx, 3)
+    np.testing.assert_allclose(out.data.sum(axis=0), a.sum(axis=0), atol=1e-10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(arrays((5, 2)))
+def test_scatter_add_gradcheck(a):
+    idx = np.array([0, 2, 1, 2, 0])
+    t = Tensor(a, requires_grad=True)
+    assert gradcheck(lambda x: (scatter_add(x, idx, 3) ** 2).sum(), [t])
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays((4, 3)))
+def test_gather_then_scatter_is_degree_scaling(a):
+    # Gathering each row once and scattering back is the identity.
+    idx = np.arange(4)
+    t = Tensor(a)
+    np.testing.assert_allclose(scatter_add(t[idx], idx, 4).data, a, atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays((4, 4)), st.floats(min_value=0.1, max_value=5, allow_nan=False))
+def test_norm_absolutely_homogeneous(a, c):
+    # ‖c·A‖ = |c|·‖A‖ up to the eps regularizer at the origin.
+    n1 = l2_norm(Tensor(a)).item()
+    nc = l2_norm(Tensor(c * a)).item()
+    np.testing.assert_allclose(nc, c * n1, rtol=1e-7, atol=1e-5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays((4, 4)), arrays((4, 4)))
+def test_norm_triangle_inequality(a, b):
+    assert (
+        frobenius_norm(Tensor(a + b)).item()
+        <= frobenius_norm(Tensor(a)).item() + frobenius_norm(Tensor(b)).item() + 1e-9
+    )

@@ -1,0 +1,12 @@
+"""Shared fixtures of the chaos suite: one small 5-party federation."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import load_dataset, louvain_partition
+
+
+@pytest.fixture(scope="package")
+def parts():
+    g = load_dataset("cora", seed=0, scale=0.2)
+    return louvain_partition(g, 5, np.random.default_rng(0)).parts

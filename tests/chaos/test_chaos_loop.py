@@ -1,0 +1,205 @@
+"""Chaos loop invariants: every fault kind, end to end.
+
+For each fault kind the suite asserts the ISSUE's acceptance triple:
+the 5-client run *completes* (graceful degradation, no crash), the
+fault is *visible* in the obs counters, and the schedule is
+*deterministic* — same fault seed ⇒ identical history metrics,
+serial or parallel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.federated import FederatedTrainer, TrainerConfig
+from repro.federated.faults import FaultPlan
+from repro.obs import TelemetrySession
+
+ROUNDS = 4
+N_CLIENTS = 5
+
+
+def make_config(**overrides):
+    base = dict(max_rounds=ROUNDS, patience=50, hidden=8)
+    base.update(overrides)
+    return TrainerConfig(**base)
+
+
+def run_with(parts, spec, fault_seed=0, **cfg_overrides):
+    plan = FaultPlan.from_spec(spec, seed=fault_seed)
+    tr = FederatedTrainer(parts, make_config(**cfg_overrides), seed=0, faults=plan)
+    hist = tr.run()
+    return tr, hist
+
+
+def all_states_finite(tr):
+    return all(np.isfinite(v).all() for c in tr.clients for v in c.get_state().values())
+
+
+@pytest.fixture()
+def telemetry():
+    with TelemetrySession() as session:
+        yield session.registry
+
+
+class TestDrop:
+    def test_partial_drop_completes(self, parts, telemetry):
+        tr, hist = run_with(parts, "drop=1.0:clients=1")
+        assert len(hist) == ROUNDS
+        assert all_states_finite(tr)
+        assert telemetry.counter("faults.injected", kind="drop").value == ROUNDS
+        assert telemetry.counter("faults.excluded", kind="drop").value == ROUNDS
+
+    def test_dropped_client_moves_no_bytes(self, parts):
+        faulty, _ = run_with(parts, "drop=1.0:clients=1")
+        clean = FederatedTrainer(parts, make_config(), seed=0)
+        clean.run()
+        assert faulty.comm.stats.uplink_bytes < clean.comm.stats.uplink_bytes
+
+    def test_total_outage_leaves_model_untouched(self, parts):
+        # Every client unreachable every round: no training, no FedAvg —
+        # the run must still complete, with weights at their initial sync.
+        tr, hist = run_with(parts, "drop=1.0")
+        assert len(hist) == ROUNDS
+        w0 = FederatedTrainer(parts, make_config(), seed=0).clients[0].get_state()
+        for c in tr.clients:
+            for k, v in c.get_state().items():
+                np.testing.assert_array_equal(v, w0[k])
+
+
+class TestStraggler:
+    def test_pure_delay_changes_nothing_but_time(self, parts, telemetry):
+        # Without a timeout a straggler just slows the round; the training
+        # trajectory must be identical to the fault-free run.
+        tr, hist = run_with(parts, "straggler=1.0:delay=0.001")
+        clean = FederatedTrainer(parts, make_config(), seed=0)
+        assert hist.metrics_equal(clean.run())
+        assert (
+            telemetry.counter("faults.injected", kind="straggler").value
+            == ROUNDS * N_CLIENTS
+        )
+        assert telemetry.counter("faults.excluded", kind="straggler").value == 0
+
+    def test_timeout_retry_recovers(self, parts, telemetry):
+        # Delay beyond the deadline: attempt abandoned, retry succeeds —
+        # and because the timed-out attempt never ran the client's work,
+        # the trajectory still matches the fault-free run.
+        tr, hist = run_with(
+            parts,
+            "straggler=1.0:delay=0.05:clients=2",
+            client_timeout=0.005,
+            client_retries=1,
+        )
+        clean = FederatedTrainer(parts, make_config(), seed=0)
+        assert hist.metrics_equal(clean.run())
+        assert telemetry.counter("faults.recovered", kind="straggler").value == ROUNDS
+        assert telemetry.counter("faults.excluded", kind="straggler").value == 0
+
+    def test_timeout_without_retry_excludes(self, parts, telemetry):
+        tr, hist = run_with(
+            parts,
+            "straggler=1.0:delay=0.05:clients=2",
+            client_timeout=0.005,
+            client_retries=0,
+        )
+        assert len(hist) == ROUNDS
+        assert telemetry.counter("faults.excluded", kind="straggler").value == ROUNDS
+
+
+class TestCorrupt:
+    def test_nan_uploads_quarantined(self, parts, telemetry):
+        tr, hist = run_with(parts, "corrupt=1.0:mode=nan:clients=1")
+        assert len(hist) == ROUNDS
+        # The NaN payload crossed the (metered) wire but never reached
+        # FedAvg: every surviving weight is finite.
+        assert all_states_finite(tr)
+        assert telemetry.counter("faults.injected", kind="corrupt").value == ROUNDS
+        assert telemetry.counter("faults.quarantined").value == ROUNDS
+        assert telemetry.counter("faults.excluded", kind="quarantine").value == ROUNDS
+
+    def test_all_nan_round_keeps_previous_global(self, parts):
+        tr, hist = run_with(parts, "corrupt=1.0:mode=nan")
+        assert len(hist) == ROUNDS
+        assert all_states_finite(tr)
+
+    def test_zero_mode_passes_quarantine(self, parts, telemetry):
+        # Zeroed payloads are finite on purpose: they model silent
+        # corruption the quarantine cannot see, degrading accuracy
+        # without crashing the loop.
+        tr, hist = run_with(parts, "corrupt=1.0:mode=zero:clients=1")
+        assert len(hist) == ROUNDS
+        assert all_states_finite(tr)
+        assert telemetry.counter("faults.quarantined").value == 0
+
+    def test_quarantine_can_be_disabled(self, parts):
+        tr, hist = run_with(
+            parts, "corrupt=1.0:mode=nan:clients=1", quarantine_nonfinite=False
+        )
+        # Without the guard the poisoned upload reaches FedAvg.
+        assert not all_states_finite(tr)
+
+
+class TestCrash:
+    def test_crash_excluded_then_resynced(self, parts, telemetry):
+        tr, hist = run_with(parts, "crash=1.0:clients=3")
+        assert len(hist) == ROUNDS
+        assert telemetry.counter("faults.injected", kind="crash").value == ROUNDS
+        assert telemetry.counter("faults.excluded", kind="crash").value == ROUNDS
+        # Each round's closing broadcast re-syncs the crashed client: all
+        # parties end the run on the same weights.
+        ref = tr.clients[0].get_state()
+        for c in tr.clients[1:]:
+            for k, v in c.get_state().items():
+                np.testing.assert_array_equal(v, ref[k])
+
+    def test_crash_differs_from_clean_run(self, parts):
+        _, hist = run_with(parts, "crash=1.0:clients=3")
+        clean = FederatedTrainer(parts, make_config(), seed=0)
+        # The crashed client's updates are genuinely lost, so the
+        # trajectory differs from the fault-free one (the fault is real,
+        # not cosmetic).
+        assert not hist.metrics_equal(clean.run())
+
+
+class TestDeterminism:
+    SPEC = "drop=0.2,straggler=0.2:delay=0.001,corrupt=0.2:mode=nan,crash=0.2"
+
+    def test_same_fault_seed_identical_histories(self, parts):
+        _, a = run_with(parts, self.SPEC, fault_seed=13)
+        _, b = run_with(parts, self.SPEC, fault_seed=13)
+        assert a.metrics_equal(b)
+
+    def test_serial_equals_parallel_under_faults(self, parts):
+        _, serial = run_with(parts, self.SPEC, fault_seed=13)
+        _, parallel = run_with(parts, self.SPEC, fault_seed=13, num_workers=3)
+        assert serial.metrics_equal(parallel)
+
+    def test_fault_seed_matters(self, parts):
+        plans = [
+            FaultPlan.from_spec("drop=0.5", seed=s).events_for_round(0, N_CLIENTS)
+            for s in (13, 14)
+        ]
+        assert plans[0] != plans[1]
+
+
+class TestFedOMDUnderFaults:
+    def test_fedomd_chaos_run_completes(self, parts):
+        from repro.core import FedOMDConfig, FedOMDTrainer
+
+        plan = FaultPlan.from_spec(
+            "drop=0.2,corrupt=0.2:mode=nan,crash=0.2", seed=3
+        )
+        cfg = FedOMDConfig(max_rounds=ROUNDS, patience=50, hidden=8)
+        tr = FedOMDTrainer(parts, cfg, seed=0, faults=plan)
+        hist = tr.run()
+        assert len(hist) == ROUNDS
+        assert all_states_finite(tr)
+
+    def test_fedomd_fault_determinism(self, parts):
+        from repro.core import FedOMDConfig, FedOMDTrainer
+
+        runs = []
+        for _ in range(2):
+            plan = FaultPlan.from_spec("drop=0.3,crash=0.3", seed=21)
+            cfg = FedOMDConfig(max_rounds=3, patience=50, hidden=8)
+            runs.append(FedOMDTrainer(parts, cfg, seed=0, faults=plan).run())
+        assert runs[0].metrics_equal(runs[1])

@@ -1,0 +1,175 @@
+"""FaultPlan unit tests: determinism, grammar, filters, payload helpers."""
+
+import numpy as np
+import pytest
+
+from repro.federated.faults import (
+    CORRUPT,
+    CRASH,
+    DROP,
+    FAULT_KINDS,
+    STRAGGLER,
+    FaultPlan,
+    FaultSpec,
+    corrupt_payload,
+    payload_is_finite,
+)
+
+
+class TestDeterminism:
+    def test_event_is_pure(self):
+        plan = FaultPlan([FaultSpec(DROP, 0.3)], seed=7)
+        for r in range(5):
+            for c in range(5):
+                assert plan.event(r, c) == plan.event(r, c)
+
+    def test_query_order_independent(self):
+        plan = FaultPlan([FaultSpec(DROP, 0.3), FaultSpec(CRASH, 0.3)], seed=7)
+        cells = [(r, c) for r in range(6) for c in range(6)]
+        forward = {cell: plan.event(*cell) for cell in cells}
+        backward = {cell: plan.event(*cell) for cell in reversed(cells)}
+        assert forward == backward
+
+    def test_same_seed_same_schedule(self):
+        a = FaultPlan([FaultSpec(k, 0.25) for k in FAULT_KINDS], seed=3)
+        b = FaultPlan([FaultSpec(k, 0.25) for k in FAULT_KINDS], seed=3)
+        for r in range(8):
+            assert a.events_for_round(r, 5) == b.events_for_round(r, 5)
+
+    def test_different_seed_different_schedule(self):
+        a = FaultPlan([FaultSpec(DROP, 0.5)], seed=0)
+        b = FaultPlan([FaultSpec(DROP, 0.5)], seed=1)
+        tables = [
+            {(r, c): p.event(r, c) for r in range(10) for c in range(10)}
+            for p in (a, b)
+        ]
+        assert tables[0] != tables[1]
+
+    def test_cells_aligned_across_spec_lists(self):
+        # Appending a lower-priority spec must not perturb the cells the
+        # first spec already claims (each spec draws from the cell RNG in
+        # order, firing or not).
+        first = FaultSpec(DROP, 0.4)
+        alone = FaultPlan([first], seed=11)
+        extended = FaultPlan([first, FaultSpec(CRASH, 0.9)], seed=11)
+        for r in range(10):
+            for c in range(5):
+                ev = alone.event(r, c)
+                if ev is not None:
+                    assert extended.event(r, c) == ev
+
+    def test_first_matching_spec_wins(self):
+        plan = FaultPlan([FaultSpec(STRAGGLER, 1.0), FaultSpec(CRASH, 1.0)], seed=0)
+        for c in range(4):
+            assert plan.event(0, c).kind == STRAGGLER
+
+    def test_prob_extremes(self):
+        never = FaultPlan([FaultSpec(DROP, 0.0)], seed=0)
+        always = FaultPlan([FaultSpec(DROP, 1.0)], seed=0)
+        assert never.events_for_round(0, 10) == {}
+        assert set(always.events_for_round(0, 10)) == set(range(10))
+
+
+class TestFilters:
+    def test_round_range_inclusive(self):
+        plan = FaultPlan([FaultSpec(DROP, 1.0, rounds=(2, 4))], seed=0)
+        fired = [r for r in range(8) if plan.event(r, 0) is not None]
+        assert fired == [2, 3, 4]
+
+    def test_client_set(self):
+        plan = FaultPlan([FaultSpec(DROP, 1.0, clients=frozenset({1, 3}))], seed=0)
+        assert set(plan.events_for_round(0, 5)) == {1, 3}
+
+    def test_filtered_spec_leaves_cell_to_later_specs(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(DROP, 1.0, clients=frozenset({0})),
+                FaultSpec(CRASH, 1.0),
+            ],
+            seed=0,
+        )
+        assert plan.event(0, 0).kind == DROP
+        assert plan.event(0, 1).kind == CRASH
+
+
+class TestSpecGrammar:
+    def test_simple_clause(self):
+        plan = FaultPlan.from_spec("drop=0.2", seed=5)
+        assert plan.seed == 5
+        (spec,) = plan.specs
+        assert (spec.kind, spec.prob) == (DROP, 0.2)
+
+    def test_full_grammar(self):
+        plan = FaultPlan.from_spec(
+            "straggler=0.5:delay=0.02,corrupt=0.3:mode=zero:rounds=2-5,"
+            "drop=1.0:clients=0|3:rounds=4"
+        )
+        s, c, d = plan.specs
+        assert (s.kind, s.prob, s.delay) == (STRAGGLER, 0.5, 0.02)
+        assert (c.kind, c.mode, c.rounds) == (CORRUPT, "zero", (2, 5))
+        assert (d.kind, d.rounds, d.clients) == (DROP, (4, 4), frozenset({0, 3}))
+
+    def test_describe_mentions_every_clause(self):
+        plan = FaultPlan.from_spec("straggler=0.5:delay=0.02,corrupt=0.3:mode=zero", seed=9)
+        text = plan.describe()
+        assert "straggler=0.5" in text and "delay=0.02" in text
+        assert "corrupt=0.3" in text and "mode=zero" in text
+        assert "seed=9" in text
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "nonsense",
+            "explode=0.5",
+            "drop=1.5",
+            "drop=0.5:wat=1",
+            "straggler=0.5:delay=-1",
+            "corrupt=0.5:mode=flip",
+            "drop=0.5:rounds=5-2",
+            "",
+        ],
+    )
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises(ValueError):
+            FaultPlan.from_spec(bad)
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan([])
+
+
+class TestPayloadHelpers:
+    def payload(self):
+        return {
+            "w": np.ones((2, 3)),
+            "idx": np.arange(4),
+            "nested": [np.full(3, 2.0), {"b": np.float32(1.5)}],
+        }
+
+    def test_corrupt_nan_fills_floats_only(self):
+        out = corrupt_payload(self.payload(), "nan")
+        assert np.isnan(out["w"]).all()
+        assert np.isnan(out["nested"][0]).all()
+        np.testing.assert_array_equal(out["idx"], np.arange(4))
+
+    def test_corrupt_zero(self):
+        out = corrupt_payload(self.payload(), "zero")
+        assert (out["w"] == 0).all()
+        assert payload_is_finite(out)
+
+    def test_corrupt_does_not_mutate_input(self):
+        p = self.payload()
+        corrupt_payload(p, "nan")
+        assert np.isfinite(p["w"]).all()
+
+    def test_corrupt_bad_mode(self):
+        with pytest.raises(ValueError):
+            corrupt_payload({}, "flip")
+
+    def test_payload_is_finite(self):
+        assert payload_is_finite(self.payload())
+        assert payload_is_finite({"i": np.arange(3)})
+        assert not payload_is_finite({"w": np.array([1.0, np.nan])})
+        assert not payload_is_finite([np.zeros(2), (np.array([np.inf]),)])
+        assert not payload_is_finite(float("nan"))
+        assert payload_is_finite(None)

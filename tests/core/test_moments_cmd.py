@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
 
 from repro.autograd import Tensor, gradcheck
 from repro.core.cmd import cmd_distance, cmd_distance_arrays, layerwise_cmd
@@ -159,6 +161,101 @@ class TestCMDArrays:
         d_tensor = cmd_distance(Tensor(z1), mu2, targets).item()
         d_np = cmd_distance_arrays(z1, z2)
         assert d_tensor == pytest.approx(d_np, rel=1e-4, abs=1e-5)
+
+
+finite_floats = st.floats(min_value=-5, max_value=5, allow_nan=False, allow_infinity=False)
+
+
+def samples(rows=8, cols=3):
+    return hnp.arrays(np.float64, (rows, cols), elements=finite_floats)
+
+
+class TestCMDProperties:
+    """Hypothesis invariants of the CMD metric (Eq. 11)."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(samples())
+    def test_identical_distributions_zero(self, z):
+        assert cmd_distance_arrays(z, z.copy()) == pytest.approx(0.0, abs=1e-10)
+
+    @settings(max_examples=50, deadline=None)
+    @given(samples(), samples(rows=11))
+    def test_non_negative(self, z1, z2):
+        assert cmd_distance_arrays(z1, z2) >= 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(samples(), samples(rows=11))
+    def test_symmetric(self, z1, z2):
+        d = cmd_distance_arrays(z1, z2)
+        assert cmd_distance_arrays(z2, z1) == pytest.approx(d, rel=1e-12, abs=1e-12)
+
+    @settings(max_examples=50, deadline=None)
+    @given(samples(), samples(rows=11), st.integers(min_value=0, max_value=2**31))
+    def test_node_permutation_invariant(self, z1, z2, perm_seed):
+        # CMD sees distributions, not node orderings: shuffling the rows
+        # of either sample changes nothing (up to FP summation order).
+        rng = np.random.default_rng(perm_seed)
+        d = cmd_distance_arrays(z1, z2)
+        d_perm = cmd_distance_arrays(rng.permutation(z1), rng.permutation(z2))
+        assert d_perm == pytest.approx(d, rel=1e-9, abs=1e-12)
+
+    @settings(max_examples=50, deadline=None)
+    @given(samples(), samples(rows=11))
+    def test_monotone_in_order_truncation(self, z1, z2):
+        # Every order adds a non-negative term, so truncating the moment
+        # sum earlier can only shrink the distance:
+        # d_{(2,)} <= d_{(2,3)} <= d_{(2,3,4)} <= d_{(2,3,4,5)}.
+        prefixes = [(2,), (2, 3), (2, 3, 4), (2, 3, 4, 5)]
+        dists = [cmd_distance_arrays(z1, z2, orders=o) for o in prefixes]
+        for shorter, longer in zip(dists, dists[1:]):
+            assert shorter <= longer + 1e-12
+
+    @settings(max_examples=50, deadline=None)
+    @given(samples())
+    def test_tensor_path_agrees_with_numpy(self, z1):
+        mu = z1.mean(axis=0)
+        targets = central_moments_np(z1, mu, [2, 3, 4, 5])
+        d = cmd_distance(Tensor(z1 + 0.1), mu, targets).item()
+        d_np = cmd_distance_arrays(z1 + 0.1, z1)
+        assert d == pytest.approx(d_np, rel=1e-4, abs=1e-5)
+
+
+class TestMomentProperties:
+    """Hypothesis invariants of central moments."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(samples())
+    def test_variance_non_negative(self, z):
+        (m2,) = central_moments_np(z, z.mean(axis=0), [2])
+        assert (m2 >= -1e-15).all()
+
+    @settings(max_examples=50, deadline=None)
+    @given(samples(), st.floats(min_value=-3, max_value=3, allow_nan=False))
+    def test_shift_invariant_about_own_mean(self, z, c):
+        # Central moments about the sample's own mean ignore translation.
+        base = central_moments_np(z, z.mean(axis=0), [2, 3, 4, 5])
+        shifted = central_moments_np(z + c, (z + c).mean(axis=0), [2, 3, 4, 5])
+        for a, b in zip(base, shifted):
+            np.testing.assert_allclose(a, b, rtol=1e-7, atol=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(samples(), st.integers(min_value=0, max_value=2**31))
+    def test_permutation_invariant(self, z, perm_seed):
+        rng = np.random.default_rng(perm_seed)
+        base = central_moments_np(z, z.mean(axis=0), [2, 3, 4, 5])
+        zp = rng.permutation(z)
+        perm = central_moments_np(zp, zp.mean(axis=0), [2, 3, 4, 5])
+        for a, b in zip(base, perm):
+            np.testing.assert_allclose(a, b, rtol=1e-9, atol=1e-12)
+
+    @settings(max_examples=50, deadline=None)
+    @given(samples(), st.floats(min_value=0.1, max_value=3, allow_nan=False))
+    def test_homogeneous_of_degree_j(self, z, c):
+        # C_j(c·Z) = c^j · C_j(Z).
+        base = central_moments_np(z, z.mean(axis=0), [2, 3, 4, 5])
+        scaled = central_moments_np(c * z, c * z.mean(axis=0), [2, 3, 4, 5])
+        for j, a, b in zip([2, 3, 4, 5], base, scaled):
+            np.testing.assert_allclose(b, c**j * a, rtol=1e-7, atol=1e-9)
 
 
 class TestLayerwiseCMD:

@@ -1,10 +1,23 @@
-"""Robustness features of the federated loop: client sampling, NaN guard."""
+"""Robustness features of the federated loop, one class per mechanism:
+
+* :class:`TestClientSampling` — partial participation (McMahan-style
+  per-round client sampling).
+* :class:`TestLocalNaNGuard` — the *client-side* guard: a non-finite
+  local loss rolls the step back instead of stepping into NaN weights.
+* :class:`TestServerQuarantine` — the *server-side* guard: an upload
+  that arrives non-finite anyway (corrupted channel, guard disabled) is
+  excluded from FedAvg, with its ``n_i`` removed from the denominator.
+
+Injected-fault scenarios (drop/straggler/corrupt/crash) live in
+``tests/chaos/``; this module covers the always-on mechanisms.
+"""
 
 import numpy as np
 import pytest
 
 from repro.autograd import Tensor
 from repro.federated import Client, FederatedTrainer, TrainerConfig
+from repro.federated.server import fedavg
 from repro.gnn import GCN
 from repro.graphs import load_dataset, louvain_partition
 
@@ -69,7 +82,7 @@ class TestClientSampling:
         np.testing.assert_array_equal(idle.model.conv1.weight.data, before)
 
 
-class TestNaNGuard:
+class TestLocalNaNGuard:
     def make_client(self, parts):
         g = parts[0]
         model = GCN(g.num_features, g.num_classes, hidden=8, rng=np.random.default_rng(0))
@@ -127,3 +140,50 @@ class TestNaNGuard:
             np.isfinite(v).all() for c in tr.clients for v in c.get_state().values()
         )
         assert len(hist) == 5
+
+
+class TestServerQuarantine:
+    def test_quarantined_client_excluded_from_fedavg_denominator(self, parts):
+        # A client whose upload is NaN must not merely have its weights
+        # ignored — its n_i must leave the FedAvg denominator, so the
+        # aggregate equals FedAvg over the survivors reweighted among
+        # themselves.
+        tr = FederatedTrainer(
+            parts, TrainerConfig(max_rounds=2, patience=10, hidden=8), seed=0
+        )
+        poisoned = tr.clients[2]
+        bad = poisoned.get_state()
+        bad[next(iter(bad))][...] = np.nan
+        poisoned.set_state(bad)
+
+        got = tr.aggregate()
+        survivors = [c for c in tr.clients if c.cid != poisoned.cid]
+        want = fedavg(
+            [c.get_state() for c in survivors],
+            [max(c.num_train, 1) for c in survivors],
+        )
+        assert got.keys() == want.keys()
+        for k in want:
+            np.testing.assert_array_equal(got[k], want[k])
+
+    def test_all_uploads_poisoned_keeps_previous_global(self, parts):
+        tr = FederatedTrainer(
+            parts, TrainerConfig(max_rounds=2, patience=10, hidden=8), seed=0
+        )
+        for c in tr.clients:
+            bad = c.get_state()
+            for v in bad.values():
+                v[...] = np.nan
+            c.set_state(bad)
+        assert tr.aggregate() is None
+
+    def test_quarantine_disabled_lets_nan_through(self, parts):
+        cfg = TrainerConfig(
+            max_rounds=2, patience=10, hidden=8, quarantine_nonfinite=False
+        )
+        tr = FederatedTrainer(parts, cfg, seed=0)
+        bad = tr.clients[0].get_state()
+        bad[next(iter(bad))][...] = np.nan
+        tr.clients[0].set_state(bad)
+        agg = tr.aggregate()
+        assert any(np.isnan(v).any() for v in agg.values())
