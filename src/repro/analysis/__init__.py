@@ -1,0 +1,36 @@
+"""Correctness tooling: static linter + opt-in runtime sanitizers.
+
+Two halves, deliberately decoupled:
+
+* :mod:`repro.analysis.lint` / :mod:`repro.analysis.rules` — a pure-stdlib
+  AST linter (``python -m repro.analysis``) enforcing the invariants in
+  ``docs/LINT_RULES.md``.  It never imports the code it analyses.
+* :mod:`repro.analysis.sanitize` — runtime sanitizers (autograd guards,
+  NaN/Inf tripwires, lock-ownership probes), opt-in via
+  ``TrainerConfig(sanitize=True)`` / ``--sanitize`` and zero-cost when off.
+
+Only the lint API is re-exported here; import ``repro.analysis.sanitize``
+explicitly for the runtime half.
+"""
+
+from repro.analysis.lint import (
+    PARSE_ERROR_RULE,
+    Linter,
+    LintReport,
+    Rule,
+    RULE_REGISTRY,
+    Violation,
+    all_rule_ids,
+    register_rule,
+)
+
+__all__ = [
+    "PARSE_ERROR_RULE",
+    "Linter",
+    "LintReport",
+    "Rule",
+    "RULE_REGISTRY",
+    "Violation",
+    "all_rule_ids",
+    "register_rule",
+]

@@ -1,0 +1,79 @@
+"""CLI: ``python -m repro.analysis <paths> [--format=text|json]``.
+
+Exit status 0 when clean, 1 when any violation survives suppression,
+2 on usage errors — so CI can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.lint import RULE_REGISTRY, Linter, all_rule_ids
+from repro.analysis.reporters import RENDERERS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project linter: determinism, autograd, and concurrency invariants.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(RENDERERS),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="RLxxx",
+        help="run only this rule (repeatable; default: all registered rules)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="project root for cross-file rules (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        import repro.analysis.rules  # noqa: F401  (registers the rule set)
+
+        for rid in all_rule_ids():
+            cls = RULE_REGISTRY[rid]
+            print(f"{rid}  {cls.name}")
+            print(f"       {cls.rationale}")
+        return 0
+
+    try:
+        linter = Linter(rules=args.rules, root=Path(args.root) if args.root else None)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    report = linter.lint_paths(args.paths)
+    print(RENDERERS[args.format](report))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Render a :class:`~repro.analysis.lint.LintReport` as text or JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.lint import LintReport
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable, one violation per line, summary footer."""
+    lines = [
+        f"{v.path}:{v.line}:{v.col}: {v.rule} {v.message}"
+        for v in report.violations
+    ]
+    if report.violations:
+        per_rule = ", ".join(f"{r}×{n}" for r, n in report.by_rule().items())
+        lines.append("")
+        lines.append(
+            f"{len(report.violations)} violation(s) ({per_rule}) in "
+            f"{report.files_checked} file(s); {report.suppressed} suppressed"
+        )
+    else:
+        lines.append(
+            f"clean: {report.files_checked} file(s) checked, "
+            f"{report.suppressed} suppression(s) honoured"
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report (stable key order) for CI consumption."""
+    payload = {
+        "ok": report.ok,
+        "files_checked": report.files_checked,
+        "suppressed": report.suppressed,
+        "by_rule": report.by_rule(),
+        "violations": [v.as_dict() for v in report.violations],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+RENDERERS = {"text": render_text, "json": render_json}

@@ -1,0 +1,373 @@
+"""Opt-in runtime sanitizers: autograd guards and lock-ownership probes.
+
+Two independent probes, both zero-cost when off (the same null-object
+discipline as :mod:`repro.obs` — the hot paths pay one ``is None`` test):
+
+**Autograd sanitizer** (:class:`AutogradSanitizer`).  Installed into
+:mod:`repro.autograd.tensor` via :func:`set_tensor_sanitizer`, it hooks
+the single op-creation choke point (``Tensor._make``) and the backward
+loop to detect, with op-name provenance in every error:
+
+* in-place mutation of a tensor captured for backward — NumPy cannot
+  intercept ndarray writes, so "version counters" are content
+  fingerprints (blake2b of the buffer) taken at record time and
+  re-verified just before the op's backward closure runs;
+* NaN/Inf escaping a forward op or accumulating into a gradient;
+* dtype drift away from ``_DEFAULT_DTYPE`` (float64 — the contract the
+  finite-difference gradchecks and golden digests rest on).
+
+**Concurrency probe** (:func:`install_comm_probe` /
+:func:`install_registry_probe`).  Wraps a :class:`Communicator`'s
+``CommStats`` and a :class:`MetricsRegistry`'s instrument table so that
+any mutation performed while the owning ``_lock`` is *not* held by the
+current thread raises :class:`LockViolationError`.  Only armed when the
+trainer actually runs multi-threaded (``num_workers > 1``).
+
+Sanitizers only *read* values — they touch no RNG and change no numeric
+path — so sanitized and unsanitized runs are bitwise identical
+(asserted against the golden-history digest in
+``tests/analysis/test_sanitize.py``).
+
+Entry point: :class:`SanitizerSession`, mirroring
+:class:`repro.obs.TelemetrySession`'s install/uninstall lifecycle;
+:class:`~repro.federated.trainer.TrainerConfig` ``sanitize=True`` (or
+the ``--sanitize`` CLI flag) wires it into the trainer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import (
+    _DEFAULT_DTYPE,
+    Tensor,
+    get_tensor_sanitizer,
+    set_tensor_sanitizer,
+)
+from repro.federated.comm import CommStats
+
+
+class SanitizerError(RuntimeError):
+    """Base class for every invariant violation a sanitizer detects."""
+
+
+class InplaceMutationError(SanitizerError):
+    """A tensor captured for backward was mutated before its closure ran."""
+
+
+class NonFiniteValueError(SanitizerError):
+    """NaN/Inf escaped a forward op or accumulated into a gradient."""
+
+
+class DtypeDriftError(SanitizerError):
+    """A tensor left the ``_DEFAULT_DTYPE`` (float64) contract."""
+
+
+class LockViolationError(SanitizerError):
+    """Shared state was mutated without holding its owning lock."""
+
+
+# ----------------------------------------------------------------------
+# autograd sanitizer
+# ----------------------------------------------------------------------
+def _fingerprint(arr: np.ndarray) -> bytes:
+    """Content digest standing in for a tensor version counter.
+
+    NumPy offers no write hook on ndarrays, so mutation is detected by
+    digesting the buffer at op-record time and comparing just before the
+    backward closure consumes it.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str(arr.shape).encode())
+    h.update(str(arr.dtype).encode())
+    h.update(np.ascontiguousarray(arr).tobytes())
+    return h.digest()
+
+
+def _describe_nonfinite(arr: np.ndarray) -> str:
+    finite = np.isfinite(arr)
+    bad = arr.size - int(finite.sum())
+    nans = int(np.isnan(arr).sum())
+    infs = bad - nans
+    return f"{bad}/{arr.size} non-finite entries ({nans} NaN, {infs} Inf)"
+
+
+class AutogradSanitizer:
+    """Forward/backward hooks enforcing the autograd invariants.
+
+    Instances are installed via :func:`set_tensor_sanitizer` (normally
+    through :class:`SanitizerSession`); ``repro.autograd.tensor`` calls
+    :meth:`after_op` once per created op and :meth:`before_backward` /
+    :meth:`after_backward` around each backward closure.
+    """
+
+    def after_op(
+        self,
+        out: Tensor,
+        parents: Sequence[Tensor],
+        op: str,
+        track: bool,
+    ) -> None:
+        data = out.data
+        if data.dtype != _DEFAULT_DTYPE:
+            raise DtypeDriftError(
+                f"op `{op}` produced dtype {data.dtype}, violating the "
+                f"{np.dtype(_DEFAULT_DTYPE).name} contract"
+            )
+        if not np.all(np.isfinite(data)):
+            raise NonFiniteValueError(
+                f"op `{op}` produced a non-finite forward output: "
+                f"{_describe_nonfinite(data)} (shape {data.shape})"
+            )
+        if track:
+            # Version-counter snapshot: any parent buffer mutated between
+            # here and this op's backward closure trips before_backward.
+            out._guard = tuple((p, _fingerprint(p.data)) for p in parents)
+
+    def before_backward(self, node: Tensor) -> None:
+        guard = node._guard
+        if guard is None:
+            return
+        for parent, fp in guard:
+            if _fingerprint(parent.data) != fp:
+                raise InplaceMutationError(
+                    f"input of op `{node._op}` (shape {parent.data.shape}) was "
+                    "mutated in place after being captured for backward; its "
+                    "gradient would be computed against the wrong values"
+                )
+
+    def after_backward(self, node: Tensor) -> None:
+        for parent in node._parents:
+            grad = parent.grad
+            if grad is not None and not np.all(np.isfinite(grad)):
+                raise NonFiniteValueError(
+                    f"backward of op `{node._op}` accumulated a non-finite "
+                    f"gradient: {_describe_nonfinite(grad)} "
+                    f"(parent shape {parent.data.shape})"
+                )
+
+
+# ----------------------------------------------------------------------
+# concurrency probe
+# ----------------------------------------------------------------------
+class OwnedLock:
+    """A lock that knows which thread holds it.
+
+    Drop-in for ``threading.Lock`` in ``with``-statement use; mutation
+    probes consult :attr:`held_by_me` to assert the caller entered the
+    critical section before touching shared state.
+    """
+
+    # The wrapped lock is deliberately named `_inner`, not `_lock`:
+    # RL005 treats a `_lock` attribute as a shared-state marker.
+
+    def __init__(self, inner: Optional[threading.Lock] = None) -> None:
+        self._inner = inner if inner is not None else threading.Lock()
+        self._owner: Optional[int] = None
+
+    @property
+    def held_by_me(self) -> bool:
+        return self._owner == threading.get_ident()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._owner = threading.get_ident()
+        return got
+
+    def release(self) -> None:
+        self._owner = None
+        self._inner.release()
+
+    def __enter__(self) -> "OwnedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+
+def _require(lock: OwnedLock, what: str) -> None:
+    if not lock.held_by_me:
+        raise LockViolationError(
+            f"{what} mutated without holding its lock "
+            f"(thread {threading.current_thread().name!r})"
+        )
+
+
+class GuardedCommStats(CommStats):
+    """``CommStats`` whose counter writes assert lock ownership.
+
+    Created via :meth:`adopt`; behaves exactly like the stats object it
+    replaced (``copy()`` / ``__sub__`` still return plain ``CommStats``
+    snapshots) but every attribute write outside the owning lock raises
+    :class:`LockViolationError`.
+    """
+
+    @classmethod
+    def adopt(cls, stats: CommStats, lock: OwnedLock) -> "GuardedCommStats":
+        inst = cls(
+            uplink_bytes=stats.uplink_bytes,
+            downlink_bytes=stats.downlink_bytes,
+            uplink_messages=stats.uplink_messages,
+            downlink_messages=stats.downlink_messages,
+            rounds=stats.rounds,
+            by_kind={k: dict(v) for k, v in stats.by_kind.items()},
+        )
+        object.__setattr__(inst, "_guard_lock", lock)
+        return inst
+
+    def __setattr__(self, name: str, value) -> None:
+        lock = self.__dict__.get("_guard_lock")
+        if lock is not None:  # None only while dataclass __init__ runs
+            _require(lock, f"CommStats.{name}")
+        object.__setattr__(self, name, value)
+
+
+class GuardedDict(dict):
+    """Registry instrument table asserting lock ownership on writes."""
+
+    def __init__(self, data, lock: OwnedLock) -> None:
+        self.guard_lock = lock
+        super().__init__(data)
+
+    def _check(self, what: str) -> None:
+        _require(self.guard_lock, what)
+
+    def __setitem__(self, key, value) -> None:
+        self._check(f"MetricsRegistry metric {key!r}")
+        super().__setitem__(key, value)
+
+    def __delitem__(self, key) -> None:
+        self._check(f"MetricsRegistry metric {key!r}")
+        super().__delitem__(key)
+
+    def setdefault(self, key, default=None):
+        self._check(f"MetricsRegistry metric {key!r}")
+        return super().setdefault(key, default)
+
+    def pop(self, *args):
+        self._check("MetricsRegistry metric table")
+        return super().pop(*args)
+
+    def popitem(self):
+        self._check("MetricsRegistry metric table")
+        return super().popitem()
+
+    def clear(self) -> None:
+        self._check("MetricsRegistry metric table")
+        super().clear()
+
+    def update(self, *args, **kwargs) -> None:
+        self._check("MetricsRegistry metric table")
+        super().update(*args, **kwargs)
+
+
+def install_comm_probe(comm) -> None:
+    """Arm lock-ownership checking on a :class:`Communicator` (idempotent).
+
+    Replaces ``comm._lock`` with an :class:`OwnedLock` (wrapping the
+    original, so existing ``with comm._lock`` sites keep working) and
+    ``comm.stats`` with a :class:`GuardedCommStats` bound to it.
+    """
+    if isinstance(comm.stats, GuardedCommStats):
+        return
+    if not isinstance(comm._lock, OwnedLock):
+        comm._lock = OwnedLock(comm._lock)
+    comm.stats = GuardedCommStats.adopt(comm.stats, comm._lock)
+
+
+def install_registry_probe(registry) -> None:
+    """Arm lock-ownership checking on a :class:`MetricsRegistry` (idempotent).
+
+    No-op for the null registry (nothing mutates) and for registries
+    already probed.
+    """
+    if not getattr(registry, "enabled", False):
+        return
+    if isinstance(registry._metrics, GuardedDict):
+        return
+    if not isinstance(registry._lock, OwnedLock):
+        registry._lock = OwnedLock(registry._lock)
+    registry._metrics = GuardedDict(registry._metrics, registry._lock)
+
+
+# ----------------------------------------------------------------------
+# session
+# ----------------------------------------------------------------------
+class SanitizerSession:
+    """Install/uninstall lifecycle for the sanitizers (cf. TelemetrySession).
+
+    Parameters
+    ----------
+    concurrency:
+        Arm the lock-ownership probes.  The trainer passes
+        ``executor.parallel`` so single-threaded runs skip probing
+        objects that only the coordinating thread touches.
+    """
+
+    def __init__(self, concurrency: bool = False) -> None:
+        self.autograd = AutogradSanitizer()
+        self.concurrency = bool(concurrency)
+        self._prev: Optional[AutogradSanitizer] = None
+        self._installed = False
+
+    @property
+    def installed(self) -> bool:
+        return self._installed
+
+    def install(self) -> "SanitizerSession":
+        if self._installed:
+            raise RuntimeError("sanitizer session already installed")
+        self._prev = set_tensor_sanitizer(self.autograd)
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        # Restore whatever was active before (normally None); if another
+        # session installed over us the latest-wins semantics still hold.
+        if get_tensor_sanitizer() is self.autograd:
+            set_tensor_sanitizer(self._prev)
+        self._installed = False
+
+    def __enter__(self) -> "SanitizerSession":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+
+    # -- probes -------------------------------------------------------
+    def attach_communicator(self, comm) -> None:
+        """Probe a Communicator's stats (no-op unless ``concurrency``)."""
+        if self.concurrency:
+            install_comm_probe(comm)
+
+    def attach_registry(self, registry) -> None:
+        """Probe a MetricsRegistry's table (no-op unless ``concurrency``)."""
+        if self.concurrency:
+            install_registry_probe(registry)
+
+
+__all__ = [
+    "SanitizerError",
+    "InplaceMutationError",
+    "NonFiniteValueError",
+    "DtypeDriftError",
+    "LockViolationError",
+    "AutogradSanitizer",
+    "OwnedLock",
+    "GuardedCommStats",
+    "GuardedDict",
+    "install_comm_probe",
+    "install_registry_probe",
+    "SanitizerSession",
+]

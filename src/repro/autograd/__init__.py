@@ -32,6 +32,8 @@ from repro.autograd.tensor import (
     as_tensor,
     no_grad,
     is_grad_enabled,
+    get_tensor_sanitizer,
+    set_tensor_sanitizer,
     zeros,
     ones,
     randn,
@@ -41,7 +43,8 @@ from repro.autograd import ops_matmul  # noqa: F401
 from repro.autograd import ops_reduce  # noqa: F401
 from repro.autograd import ops_nn  # noqa: F401
 from repro.autograd import ops_shape  # noqa: F401
-from repro.autograd.ops_matmul import matmul, spmm
+from repro.autograd.ops_basic import maximum
+from repro.autograd.ops_matmul import matmul, spmm, transpose
 from repro.autograd.ops_nn import (
     relu,
     leaky_relu,
@@ -60,11 +63,15 @@ __all__ = [
     "as_tensor",
     "no_grad",
     "is_grad_enabled",
+    "get_tensor_sanitizer",
+    "set_tensor_sanitizer",
     "zeros",
     "ones",
     "randn",
+    "maximum",
     "matmul",
     "spmm",
+    "transpose",
     "relu",
     "leaky_relu",
     "sigmoid",

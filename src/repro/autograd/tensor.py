@@ -30,6 +30,24 @@ class _GradMode(threading.local):
 
 _grad_mode = _GradMode()
 
+# Optional runtime sanitizer (repro.analysis.sanitize.AutogradSanitizer).
+# None by default so the hot path pays exactly one `is None` test per op;
+# SanitizerSession installs/uninstalls it around a run.
+_sanitizer = None
+
+
+def set_tensor_sanitizer(sanitizer):
+    """Install ``sanitizer`` as the process-wide op hook; returns the old one."""
+    global _sanitizer
+    prev = _sanitizer
+    _sanitizer = sanitizer
+    return prev
+
+
+def get_tensor_sanitizer():
+    """The currently installed sanitizer (``None`` when disabled)."""
+    return _sanitizer
+
 
 def is_grad_enabled() -> bool:
     """Return ``True`` when new ops will be recorded for backprop."""
@@ -80,7 +98,7 @@ class Tensor:
         Whether gradients should be accumulated into ``self.grad``.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "_op")
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "_op", "_guard")
 
     def __init__(
         self,
@@ -97,6 +115,9 @@ class Tensor:
         self._parents: tuple = tuple(_parents)
         self._backward = _backward
         self._op = _op
+        # Sanitizer version-counter snapshot of the parents (see
+        # repro.analysis.sanitize); None whenever sanitizers are off.
+        self._guard = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -111,8 +132,12 @@ class Tensor:
         """Create a result tensor, recording the graph only when needed."""
         track = is_grad_enabled() and any(p.requires_grad for p in parents)
         if track:
-            return Tensor(data, requires_grad=True, _parents=parents, _backward=backward, _op=op)
-        return Tensor(data, requires_grad=False)
+            out = Tensor(data, requires_grad=True, _parents=parents, _backward=backward, _op=op)
+        else:
+            out = Tensor(data, requires_grad=False)
+        if _sanitizer is not None:
+            _sanitizer.after_op(out, parents, op, track)
+        return out
 
     # ------------------------------------------------------------------
     # properties
@@ -192,6 +217,9 @@ class Tensor:
 
         # Topological order by iterative DFS (recursion depth would blow up
         # on deep unrolled graphs, e.g. many-layer OrthoGCN + CMD sums).
+        # The visited set is id()-keyed but transient: every tensor it
+        # refers to is kept alive by the graph for the whole walk, so ids
+        # cannot be recycled — unlike the cross-call caches RL002 targets.
         topo: list[Tensor] = []
         visited: set[int] = set()
         stack: list[tuple[Tensor, bool]] = [(self, False)]
@@ -200,18 +228,25 @@ class Tensor:
             if processed:
                 topo.append(node)
                 continue
+            # repro-lint: disable=RL002
             if id(node) in visited:
                 continue
-            visited.add(id(node))
+            visited.add(id(node))  # repro-lint: disable=RL002
             stack.append((node, True))
             for p in node._parents:
+                # repro-lint: disable=RL002
                 if id(p) not in visited and p.requires_grad:
                     stack.append((p, False))
 
         self._accumulate(grad)
+        san = _sanitizer
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
+                if san is not None:
+                    san.before_backward(node)
                 node._backward(node.grad)
+                if san is not None:
+                    san.after_backward(node)
 
     # ------------------------------------------------------------------
     # niceties

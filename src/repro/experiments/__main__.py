@@ -12,19 +12,20 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from repro.experiments.registry import REGISTRY, get_experiment
 from repro.experiments.runner import default_out_dir
+from repro.utils.profiling import Timer
 
 
 def _run_experiments(names, mode: str, out_dir: str, extra=None) -> None:
+    timer = Timer()
     for name in names:
         fn = get_experiment(name)
-        t0 = time.time()
-        result = fn(mode=mode, out_dir=out_dir, **(extra or {}))
+        with timer(name):
+            result = fn(mode=mode, out_dir=out_dir, **(extra or {}))
         print(result.render())
-        print(f"[{name}] done in {time.time() - t0:.1f}s → {out_dir}/{name}.csv\n")
+        print(f"[{name}] done in {timer.total(name):.1f}s → {out_dir}/{name}.csv\n")
 
 
 def main(argv=None) -> int:
@@ -78,6 +79,11 @@ def main(argv=None) -> int:
         metavar="DIR",
         help="directory for --checkpoint-every snapshots",
     )
+    chaos.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="arm runtime sanitizers (autograd tripwires, lock probes; see repro.analysis)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "report":
@@ -100,6 +106,8 @@ def main(argv=None) -> int:
     }
     if args.checkpoint_every:
         chaos_flags["--checkpoint-every"] = args.checkpoint_every
+    if args.sanitize:
+        chaos_flags["--sanitize"] = True
     extra = None
     if args.experiment == "chaos":
         extra = dict(
@@ -108,6 +116,7 @@ def main(argv=None) -> int:
             resume=args.resume,
             checkpoint_every=args.checkpoint_every,
             checkpoint_dir=args.checkpoint_dir,
+            sanitize=args.sanitize,
         )
     else:
         used = [flag for flag, value in chaos_flags.items() if value is not None]

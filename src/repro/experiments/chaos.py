@@ -49,6 +49,7 @@ def run(
     checkpoint_every: int = 0,
     checkpoint_dir: Optional[str] = None,
     num_workers: int = 1,
+    sanitize: bool = False,
 ) -> ExperimentResult:
     params = MODE_PARAMS[mode]
     spec = faults or CHAOS_FAULTS_DEFAULT
@@ -65,6 +66,7 @@ def run(
         client_retries=1,
         checkpoint_every=checkpoint_every,
         checkpoint_dir=checkpoint_dir,
+        sanitize=sanitize,
     )
 
     # Fault counters need a live registry; reuse the CLI's telemetry

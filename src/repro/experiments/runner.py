@@ -8,7 +8,6 @@ averages cells over seeds (the paper averages 5 repetitions).
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -19,6 +18,7 @@ from repro.core import FedOMDConfig, FedOMDTrainer
 from repro.federated import TrainerConfig
 from repro.graphs import load_dataset, louvain_partition
 from repro.reporting import ascii_table, write_csv
+from repro.utils.profiling import Timer
 
 MODEL_NAMES = [
     "fedmlp",
@@ -80,22 +80,27 @@ def make_trainer(
     params: ModeParams,
     seed: int,
     fedomd_overrides: Optional[dict] = None,
+    extra_config: Optional[dict] = None,
 ):
-    """Instantiate a trainer by registry name with mode-scaled config."""
-    if model == "fedomd":
-        kwargs = dict(
-            max_rounds=params.max_rounds,
-            patience=params.patience,
-            hidden=params.hidden,
-        )
-        if fedomd_overrides:
-            kwargs.update(fedomd_overrides)
-        return FedOMDTrainer(parts, FedOMDConfig(**kwargs), seed=seed)
-    cfg = TrainerConfig(
-        max_rounds=params.max_rounds, patience=params.patience, hidden=params.hidden
+    """Instantiate a trainer by registry name with mode-scaled config.
+
+    ``extra_config`` merges additional :class:`TrainerConfig` fields
+    (e.g. ``{"sanitize": True}``, ``{"num_workers": 4}``) into whichever
+    config class the model uses.
+    """
+    base = dict(
+        max_rounds=params.max_rounds,
+        patience=params.patience,
+        hidden=params.hidden,
     )
+    if extra_config:
+        base.update(extra_config)
+    if model == "fedomd":
+        if fedomd_overrides:
+            base.update(fedomd_overrides)
+        return FedOMDTrainer(parts, FedOMDConfig(**base), seed=seed)
     if model in ALL_BASELINES:
-        return ALL_BASELINES[model](parts, cfg, seed=seed)
+        return ALL_BASELINES[model](parts, TrainerConfig(**base), seed=seed)
     raise KeyError(f"unknown model {model!r}; choose from {MODEL_NAMES}")
 
 
@@ -118,22 +123,23 @@ def run_cell(
     """
     seeds = list(seeds if seeds is not None else range(params.seeds))
     accs = []
-    t0 = time.time()
-    for seed in seeds:
-        key = (dataset, seed, num_parties, resolution, params.scale)
-        if partition_cache is not None and key in partition_cache:
-            parts = partition_cache[key]
-        else:
-            g = load_dataset(dataset, seed=seed, scale=params.scale)
-            parts = louvain_partition(
-                g, num_parties, np.random.default_rng(seed), resolution=resolution
-            ).parts
-            if partition_cache is not None:
-                partition_cache[key] = parts
-        trainer = make_trainer(model, parts, params, seed, fedomd_overrides)
-        hist = trainer.run()
-        accs.append(hist.final_test_accuracy())
-    return float(np.mean(accs)), float(np.std(accs)), time.time() - t0
+    timer = Timer()
+    with timer("cell"):
+        for seed in seeds:
+            key = (dataset, seed, num_parties, resolution, params.scale)
+            if partition_cache is not None and key in partition_cache:
+                parts = partition_cache[key]
+            else:
+                g = load_dataset(dataset, seed=seed, scale=params.scale)
+                parts = louvain_partition(
+                    g, num_parties, np.random.default_rng(seed), resolution=resolution
+                ).parts
+                if partition_cache is not None:
+                    partition_cache[key] = parts
+            trainer = make_trainer(model, parts, params, seed, fedomd_overrides)
+            hist = trainer.run()
+            accs.append(hist.final_test_accuracy())
+    return float(np.mean(accs)), float(np.std(accs)), timer.total("cell")
 
 
 def default_out_dir(mode: str) -> str:

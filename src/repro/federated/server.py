@@ -32,7 +32,8 @@ def fedavg(states: Sequence[StateDict], weights: Optional[Sequence[float]] = Non
         if set(s) != keys:
             raise KeyError("state dicts disagree on parameter names")
     if weights is None:
-        lam = np.full(len(states), 1.0 / len(states))
+        n_contributing = len(states)  # uniform λ over who actually uploaded
+        lam = np.full(n_contributing, 1.0 / n_contributing)
     else:
         w = np.asarray(weights, dtype=np.float64)
         if len(w) != len(states):

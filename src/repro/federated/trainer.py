@@ -89,6 +89,14 @@ class TrainerConfig:
     # continued run is bitwise-identical to an uninterrupted one.
     checkpoint_every: int = 0
     checkpoint_dir: Optional[str] = None
+    # ---- runtime sanitizers (see repro.analysis.sanitize) ---------------
+    # Arm the autograd sanitizer (in-place-mutation, NaN/Inf and dtype
+    # tripwires with op provenance) and, when num_workers > 1, the
+    # lock-ownership probes on Communicator/MetricsRegistry.  Sanitized
+    # runs are bitwise identical to unsanitized ones — the probes only
+    # read values — they just fail loudly instead of training through
+    # corrupted state.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.max_rounds < 1 or self.local_epochs < 1:
@@ -141,6 +149,15 @@ class FederatedTrainer:
             self.injector = None
             self.comm = Communicator(num_clients=len(parts))
             self.fault_executor = None
+        if self.config.sanitize:
+            from repro.analysis.sanitize import SanitizerSession
+
+            self.sanitizer: Optional[SanitizerSession] = SanitizerSession(
+                concurrency=self.executor.parallel
+            )
+            self.sanitizer.attach_communicator(self.comm)
+        else:
+            self.sanitizer = None
         self.history = TrainingHistory()
         self._round_rng = np.random.default_rng(seed + 99991)
         self._participants: Optional[List[int]] = None
@@ -314,6 +331,10 @@ class FederatedTrainer:
         from repro.federated.checkpoint import load_trainer_checkpoint
 
         load_trainer_checkpoint(self, path)
+        if self.sanitizer is not None:
+            # The checkpoint restore replaced comm.stats with a plain
+            # CommStats; re-arm the lock-ownership probe on it.
+            self.sanitizer.attach_communicator(self.comm)
         return self
 
     def _maybe_checkpoint(self, round_idx: int) -> None:
@@ -332,6 +353,27 @@ class FederatedTrainer:
         """Train until ``max_rounds`` or patience exhaustion; return history."""
         cfg = self.config
 
+        if self.sanitizer is not None:
+            self.sanitizer.install()
+            # The live registry may have been swapped in (TelemetrySession)
+            # after construction; probe whatever is current.
+            self.sanitizer.attach_registry(get_registry())
+        try:
+            self._run_rounds(cfg, verbose)
+        finally:
+            if self.sanitizer is not None:
+                self.sanitizer.uninstall()
+
+        # Restore the best-validation snapshot (standard early stopping).
+        if self._best_states is not None:
+            for client, state in zip(self.clients, self._best_states):
+                client.set_state(state)
+        # Release idle pool threads; the executor respawns lazily if the
+        # trainer is evaluated or resumed afterwards.
+        self.executor.shutdown()
+        return self.history
+
+    def _run_rounds(self, cfg: TrainerConfig, verbose: bool) -> None:
         # Phase timings come from spans: the tracer is the null tracer by
         # default, whose spans still carry perf_counter timestamps, so the
         # RoundRecord fields are byte-for-byte the same measurement the old
@@ -392,17 +434,8 @@ class FederatedTrainer:
                         self._rounds_since_best += cfg.eval_every
                     if self._rounds_since_best >= cfg.patience:
                         self._maybe_checkpoint(round_idx)
-                        break
+                        return
                 self._maybe_checkpoint(round_idx)
-
-        # Restore the best-validation snapshot (standard early stopping).
-        if self._best_states is not None:
-            for client, state in zip(self.clients, self._best_states):
-                client.set_state(state)
-        # Release idle pool threads; the executor respawns lazily if the
-        # trainer is evaluated or resumed afterwards.
-        self.executor.shutdown()
-        return self.history
 
     # ------------------------------------------------------------------
     def final_test_accuracy(self) -> float:

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 import numpy as np
 
@@ -20,6 +19,7 @@ from repro.experiments.runner import MODEL_NAMES, ModeParams, make_trainer
 from repro.graphs import DATASET_STATS, load_dataset, louvain_partition
 from repro.nn.serialize import save_checkpoint
 from repro.reporting import render_series
+from repro.utils.profiling import Timer
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -39,6 +39,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--alpha", type=float, default=None, help="FedOMD ortho weight")
     p.add_argument("--beta", type=float, default=None, help="FedOMD CMD weight")
     p.add_argument("--num-hidden", type=int, default=None, help="FedOMD hidden layers")
+    p.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="arm runtime sanitizers (autograd tripwires, lock probes; see repro.analysis)",
+    )
     p.add_argument("--curve", action="store_true", help="print the convergence sparkline")
     p.add_argument("--save-model", default=None, help="write the final global model (npz)")
     p.add_argument("--verbose", action="store_true")
@@ -47,38 +52,46 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    t0 = time.time()
+    timer = Timer()
 
-    graph = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
-    resolution = args.resolution if args.resolution is not None else paper_resolution(args.dataset)
-    parts = louvain_partition(
-        graph, args.parties, np.random.default_rng(args.seed), resolution=resolution
-    ).parts
-    print(f"{graph.summary()} → {args.parties} parties {[p.num_nodes for p in parts]}")
+    with timer("run"):
+        graph = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+        resolution = (
+            args.resolution if args.resolution is not None else paper_resolution(args.dataset)
+        )
+        parts = louvain_partition(
+            graph, args.parties, np.random.default_rng(args.seed), resolution=resolution
+        ).parts
+        print(f"{graph.summary()} → {args.parties} parties {[p.num_nodes for p in parts]}")
 
-    params = ModeParams(
-        scale=args.scale,
-        max_rounds=args.rounds,
-        patience=args.patience,
-        seeds=1,
-        hidden=args.hidden,
-    )
-    overrides = {}
-    for key in ("alpha", "beta"):
-        if getattr(args, key) is not None:
-            overrides[key] = getattr(args, key)
-    if args.num_hidden is not None:
-        overrides["num_hidden"] = args.num_hidden
-    trainer = make_trainer(
-        args.model, parts, params, seed=args.seed, fedomd_overrides=overrides or None
-    )
-    history = trainer.run(verbose=args.verbose)
+        params = ModeParams(
+            scale=args.scale,
+            max_rounds=args.rounds,
+            patience=args.patience,
+            seeds=1,
+            hidden=args.hidden,
+        )
+        overrides = {}
+        for key in ("alpha", "beta"):
+            if getattr(args, key) is not None:
+                overrides[key] = getattr(args, key)
+        if args.num_hidden is not None:
+            overrides["num_hidden"] = args.num_hidden
+        trainer = make_trainer(
+            args.model,
+            parts,
+            params,
+            seed=args.seed,
+            fedomd_overrides=overrides or None,
+            extra_config={"sanitize": True} if args.sanitize else None,
+        )
+        history = trainer.run(verbose=args.verbose)
 
     acc = history.final_test_accuracy()
     stats = trainer.comm.stats
     print(
         f"\n{args.model}: test accuracy {100 * acc:.2f}% "
-        f"({len(history)} rounds, {time.time() - t0:.0f}s)"
+        f"({len(history)} rounds, {timer.total('run'):.0f}s)"
     )
     print(
         f"traffic: {stats.uplink_bytes / 1e6:.1f} MB up, "

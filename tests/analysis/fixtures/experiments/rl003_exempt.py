@@ -1,0 +1,6 @@
+"""Fixture: files under an experiments/ path segment are RL003-exempt."""
+import time
+
+
+def driver_stopwatch():
+    return time.time()  # no violation: experiments/ is exempt

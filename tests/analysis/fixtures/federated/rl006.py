@@ -1,0 +1,14 @@
+"""Fixture: RL006 must fire on bare len() divisors in aggregation code."""
+
+
+def bad_average(states):
+    return sum(states) / len(states)  # VIOLATION rl006, line 5
+
+
+def ok_average(states):
+    n_contributing = len(states)
+    return sum(states) / n_contributing
+
+
+def suppressed(states):
+    return sum(states) / len(states)  # repro-lint: disable=RL006

@@ -1,0 +1,16 @@
+"""Fixture: RL001 must fire on unseeded global RNG use, and only there."""
+import numpy as np
+from numpy.random import rand  # VIOLATION rl001 (legacy sampler import), line 3
+
+
+def bad():
+    return np.random.rand(3)  # VIOLATION rl001, line 7
+
+
+def ok(rng: np.random.Generator):
+    seeded = np.random.default_rng(0)
+    return rng.standard_normal(3) + seeded.standard_normal(3)
+
+
+def suppressed():
+    return np.random.rand(3)  # repro-lint: disable=RL001

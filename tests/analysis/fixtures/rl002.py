@@ -1,0 +1,25 @@
+"""Fixture: RL002 must fire on id()-keyed containers, and only there."""
+
+_CACHE = {}
+_SEEN = set()
+
+
+def bad_store(graph, value):
+    _CACHE[id(graph)] = value  # VIOLATION rl002, line 8
+
+
+def bad_lookup(graph):
+    return id(graph) in _SEEN  # VIOLATION rl002, line 12
+
+
+def bad_add(graph):
+    _SEEN.add(id(graph))  # VIOLATION rl002, line 16
+
+
+def ok(graph, value):
+    _CACHE[graph] = value
+    return graph in _SEEN
+
+
+def suppressed(graph, value):
+    _CACHE[id(graph)] = value  # repro-lint: disable=RL002

@@ -1,0 +1,21 @@
+"""Fixture: RL003 must fire on wall-clock reads outside experiments/."""
+import time
+from datetime import datetime
+
+
+def bad_stopwatch():
+    return time.time()  # VIOLATION rl003, line 7
+
+
+def bad_timestamp():
+    return datetime.now()  # VIOLATION rl003, line 11
+
+
+def ok_monotonic():
+    start = time.perf_counter()
+    time.sleep(0)
+    return time.perf_counter() - start
+
+
+def suppressed():
+    return time.time()  # repro-lint: disable=RL003

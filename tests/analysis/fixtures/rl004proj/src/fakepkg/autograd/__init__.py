@@ -1,0 +1,3 @@
+"""Fixture package init: registers good_op only."""
+
+__all__ = ["good_op"]

@@ -1,0 +1,32 @@
+"""Fixture: RL004 — a tiny fake autograd package (never imported)."""
+
+
+def good_op(a):
+    def backward(grad):
+        pass
+
+    return Tensor._make(a, (a,), backward, "good_op")  # noqa: F821
+
+
+def bad_op(a):  # VIOLATION rl004 ×2 (unregistered + no gradcheck), line 11
+    def backward(grad):
+        pass
+
+    return Tensor._make(a, (a,), backward, "bad_op")  # noqa: F821
+
+
+def suppressed_op(a):  # repro-lint: disable=RL004
+    def backward(grad):
+        pass
+
+    return Tensor._make(a, (a,), backward, "suppressed_op")  # noqa: F821
+
+
+def _private_helper(a):
+    # Private: RL004 only audits the public op surface.
+    return Tensor._make(a, (a,), None, "helper")  # noqa: F821
+
+
+def not_an_op(a):
+    # No Tensor._make call — not differentiable, not audited.
+    return a

@@ -1,0 +1,37 @@
+"""Fixture: RL005 must fire on unlocked shared-state mutation."""
+import threading
+
+
+class SharedCounter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0
+        self.items = []
+
+    def bad_increment(self) -> None:
+        self.count += 1  # VIOLATION rl005, line 12
+
+    def bad_append(self, x) -> None:
+        self.items.append(x)  # VIOLATION rl005, line 15
+
+    def ok_locked(self) -> None:
+        with self._lock:
+            self.count += 1
+            self.items.append(self.count)
+
+    def ok_annotated(self) -> None:
+        # guarded-by(caller holds self._lock via ok_locked)
+        self.count += 1
+
+    def suppressed(self) -> None:
+        self.count += 1  # repro-lint: disable=RL005
+
+
+class Unlocked:
+    """No _lock attribute: RL005 does not apply at all."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def increment(self) -> None:
+        self.count += 1

@@ -1,0 +1,186 @@
+"""Engine-level tests: suppressions, reports, reporters, CLI exit codes."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    PARSE_ERROR_RULE,
+    Linter,
+    Rule,
+    RULE_REGISTRY,
+    Violation,
+    all_rule_ids,
+)
+from repro.analysis.lint import _is_suppressed, suppressions
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.__main__ import main as cli_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+# ----------------------------------------------------------------------
+# suppression parsing
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_same_line(self):
+        idx = suppressions("x = 1  # repro-lint: disable=RL001\n")
+        assert idx == {1: {"RL001"}}
+
+    def test_multiple_rules_one_comment(self):
+        idx = suppressions("x = 1  # repro-lint: disable=RL001,RL002\n")
+        assert idx[1] == {"RL001", "RL002"}
+
+    def test_all_keyword_case_insensitive(self):
+        idx = suppressions("x = 1  # repro-lint: disable=All\n")
+        assert idx[1] == {"ALL"}
+
+    def test_no_comment_no_entry(self):
+        assert suppressions("x = 1\ny = 2\n") == {}
+
+    def test_suppressed_same_line(self):
+        linter = Linter(rules=["RL003"])
+        report = linter.lint_source("import time\nt = time.time()  # repro-lint: disable=RL003\n")
+        assert report.ok and report.suppressed == 1
+
+    def test_suppressed_comment_line_above(self):
+        src = "import time\n# repro-lint: disable=RL003\nt = time.time()\n"
+        report = Linter(rules=["RL003"]).lint_source(src)
+        assert report.ok and report.suppressed == 1
+
+    def test_code_line_suppression_does_not_leak_down(self):
+        # The disable on line 2 silences line 2 only, not line 3.
+        src = (
+            "import time\n"
+            "a = time.time()  # repro-lint: disable=RL003\n"
+            "b = time.time()\n"
+        )
+        report = Linter(rules=["RL003"]).lint_source(src)
+        assert [v.line for v in report.violations] == [3]
+        assert report.suppressed == 1
+
+    def test_disable_all_silences_every_rule(self):
+        src = "import time\nt = time.time()  # repro-lint: disable=all\n"
+        report = Linter(rules=["RL003"]).lint_source(src)
+        assert report.ok and report.suppressed == 1
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        src = "import time\nt = time.time()  # repro-lint: disable=RL001\n"
+        report = Linter(rules=["RL003"]).lint_source(src)
+        assert not report.ok
+
+    def test_is_suppressed_without_context_ignores_previous_line(self):
+        v = Violation(path="x.py", line=5, col=0, rule="RL001", message="m")
+        assert not _is_suppressed(v, None, {4: {"RL001"}})
+        assert _is_suppressed(v, None, {5: {"RL001"}})
+
+
+# ----------------------------------------------------------------------
+# engine mechanics
+# ----------------------------------------------------------------------
+class TestEngine:
+    def test_all_six_rules_registered(self):
+        assert all_rule_ids() == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+        for rid, cls in RULE_REGISTRY.items():
+            assert cls.id == rid and cls.name and cls.rationale
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(KeyError, match="RL999"):
+            Linter(rules=["RL999"])
+
+    def test_rules_instantiated_fresh_per_linter(self):
+        # RL004 keeps per-run state; two linters must not share it.
+        a, b = Linter(rules=["RL004"]), Linter(rules=["RL004"])
+        assert a.rules[0] is not b.rules[0]
+
+    def test_parse_error_reported_as_rl000(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        report = Linter(root=tmp_path).lint_files([bad])
+        assert [v.rule for v in report.violations] == [PARSE_ERROR_RULE]
+
+    def test_iter_skips_pycache_and_non_python(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("x = 1\n")
+        (tmp_path / "notes.txt").write_text("hi\n")
+        (tmp_path / "real.py").write_text("x = 1\n")
+        report = Linter(root=tmp_path).lint_paths([str(tmp_path)])
+        assert report.files_checked == 1 and report.ok
+
+    def test_violation_as_dict_and_ordering(self):
+        a = Violation(path="a.py", line=2, col=0, rule="RL001", message="m")
+        b = Violation(path="a.py", line=10, col=0, rule="RL001", message="m")
+        assert sorted([b, a]) == [a, b]
+        assert a.as_dict() == {
+            "rule": "RL001", "path": "a.py", "line": 2, "col": 0, "message": "m"
+        }
+
+    def test_report_by_rule_counts(self):
+        report = Linter(rules=["RL003"]).lint_source(
+            "import time\na = time.time()\nb = time.time()\n"
+        )
+        assert report.by_rule() == {"RL003": 2}
+
+    def test_display_paths_relative_to_root(self):
+        root = Path(__file__).resolve().parents[2]
+        report = Linter(root=root).lint_files([FIXTURES / "rl003.py"])
+        assert all(v.path.startswith("tests/analysis/fixtures") for v in report.violations)
+
+
+# ----------------------------------------------------------------------
+# reporters
+# ----------------------------------------------------------------------
+class TestReporters:
+    def _report(self):
+        return Linter(rules=["RL003"]).lint_source("import time\nt = time.time()\n")
+
+    def test_text_lists_location_and_summary(self):
+        text = render_text(self._report())
+        assert "<string>:2:4: RL003" in text
+        assert "1 violation(s)" in text
+
+    def test_text_clean(self):
+        report = Linter(rules=["RL003"]).lint_source("x = 1\n")
+        assert "clean" in render_text(report)
+
+    def test_json_round_trips(self):
+        payload = json.loads(render_json(self._report()))
+        assert payload["ok"] is False
+        assert payload["by_rule"] == {"RL003": 1}
+        assert payload["violations"][0]["rule"] == "RL003"
+
+    def test_json_clean(self):
+        payload = json.loads(render_json(Linter(rules=["RL003"]).lint_source("x = 1\n")))
+        assert payload["ok"] is True and payload["violations"] == []
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCLI:
+    def test_exit_zero_on_clean_file(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert cli_main([str(clean)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_exit_one_on_violation(self, capsys):
+        code = cli_main([str(FIXTURES / "rl003.py"), "--rule", "RL003"])
+        assert code == 1
+        assert "RL003" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        code = cli_main([str(FIXTURES / "rl003.py"), "--rule", "RL003", "--format", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert cli_main(["--rule", "RL999", "src"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert cli_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rid in all_rule_ids():
+            assert rid in out

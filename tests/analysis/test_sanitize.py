@@ -1,0 +1,263 @@
+"""Runtime-sanitizer tests: autograd guards, lock probes, bitwise parity.
+
+The three satellite requirements are all here: in-place mutation raises
+with the offending op named; the NaN tripwire catches corruption seeded
+through ``repro.federated.faults``; and sanitizer-on histories are
+bitwise identical to sanitizer-off (pinned to the golden digest).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitize import (
+    AutogradSanitizer,
+    DtypeDriftError,
+    GuardedCommStats,
+    GuardedDict,
+    InplaceMutationError,
+    LockViolationError,
+    NonFiniteValueError,
+    OwnedLock,
+    SanitizerSession,
+    install_comm_probe,
+    install_registry_probe,
+)
+from repro.autograd import Tensor, get_tensor_sanitizer
+from repro.core import FedOMDConfig, FedOMDTrainer
+from repro.federated.comm import Communicator
+from repro.federated.faults import FaultPlan
+from repro.graphs import load_dataset, louvain_partition
+from repro.obs import MetricsRegistry, NULL_REGISTRY
+
+from tests.federated.test_golden_history import GOLDEN_DIGEST, digest
+
+
+@pytest.fixture
+def session():
+    with SanitizerSession() as s:
+        yield s
+
+
+def small_parts():
+    g = load_dataset("cora", seed=0, scale=0.12)
+    return louvain_partition(g, 3, np.random.default_rng(0)).parts
+
+
+# ----------------------------------------------------------------------
+# autograd sanitizer
+# ----------------------------------------------------------------------
+class TestAutogradSanitizer:
+    def test_inplace_mutation_names_offending_op(self, session):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = a * 3.0
+        a.data[0, 0] = 99.0
+        with pytest.raises(InplaceMutationError, match="op `mul`"):
+            out.sum().backward()
+
+    def test_clean_backward_passes(self, session):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        ((a * 3.0) ** 2).sum().backward()
+        np.testing.assert_allclose(a.grad, 18.0 * np.ones((2, 2)))
+
+    def test_nan_forward_names_op(self, session):
+        a = Tensor(np.array([1.0, np.nan]), requires_grad=True)
+        with pytest.raises(NonFiniteValueError, match="op `exp`"):
+            a.exp()
+
+    def test_inf_forward_trips(self, session):
+        a = Tensor(np.array([0.0]), requires_grad=True)
+        with np.errstate(divide="ignore"):
+            with pytest.raises(NonFiniteValueError, match="Inf"):
+                1.0 / a
+
+    def test_nan_gradient_trips_with_provenance(self, session):
+        # sqrt'(0) = inf: the forward output is finite, the gradient isn't.
+        a = Tensor(np.array([0.0, 4.0]), requires_grad=True)
+        out = a.sqrt()
+        with np.errstate(divide="ignore"):
+            with pytest.raises(NonFiniteValueError, match="backward of op `sqrt`"):
+                out.sum().backward()
+
+    def test_dtype_drift_detected(self):
+        san = AutogradSanitizer()
+        bad = Tensor(np.ones(3))
+        bad.data = bad.data.astype(np.float32)
+        with pytest.raises(DtypeDriftError, match="float32"):
+            san.after_op(bad, (), "cast", track=False)
+
+    def test_no_guard_recorded_when_untracked(self, session):
+        from repro.autograd import no_grad
+
+        a = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = a * 2.0
+        assert out._guard is None
+
+    def test_session_installs_and_uninstalls(self):
+        assert get_tensor_sanitizer() is None
+        with SanitizerSession() as s:
+            assert get_tensor_sanitizer() is s.autograd
+        assert get_tensor_sanitizer() is None
+
+    def test_uninstall_on_error_path(self):
+        s = SanitizerSession().install()
+        try:
+            assert get_tensor_sanitizer() is s.autograd
+        finally:
+            s.uninstall()
+        assert get_tensor_sanitizer() is None
+
+    def test_double_install_rejected(self):
+        with SanitizerSession() as s:
+            with pytest.raises(RuntimeError, match="already installed"):
+                s.install()
+
+
+# ----------------------------------------------------------------------
+# concurrency probe
+# ----------------------------------------------------------------------
+class TestOwnedLock:
+    def test_ownership_tracking(self):
+        lock = OwnedLock()
+        assert not lock.held_by_me
+        with lock:
+            assert lock.held_by_me
+        assert not lock.held_by_me
+
+    def test_other_thread_not_owner(self):
+        lock = OwnedLock()
+        seen = {}
+        lock.acquire()
+        t = threading.Thread(target=lambda: seen.setdefault("held", lock.held_by_me))
+        t.start()
+        t.join()
+        lock.release()
+        assert seen["held"] is False
+
+
+class TestCommProbe:
+    def test_unlocked_mutation_raises(self):
+        comm = Communicator(num_clients=2)
+        install_comm_probe(comm)
+        with pytest.raises(LockViolationError, match="CommStats.rounds"):
+            comm.stats.rounds += 1
+
+    def test_locked_mutation_passes_and_counters_exact(self):
+        comm = Communicator(num_clients=2)
+        install_comm_probe(comm)
+        comm.broadcast({"w": np.zeros(4)})
+        comm.end_round()
+        assert comm.stats.rounds == 1
+        assert comm.stats.downlink_bytes == 2 * 32
+
+    def test_probe_idempotent(self):
+        comm = Communicator(num_clients=2)
+        install_comm_probe(comm)
+        stats = comm.stats
+        install_comm_probe(comm)
+        assert comm.stats is stats
+
+    def test_snapshot_returns_plain_stats(self):
+        comm = Communicator(num_clients=2)
+        install_comm_probe(comm)
+        snap = comm.snapshot()
+        assert not isinstance(snap, GuardedCommStats)
+        snap.rounds += 1  # plain copies stay freely mutable
+
+    def test_stats_delta_still_works(self):
+        comm = Communicator(num_clients=2)
+        install_comm_probe(comm)
+        before = comm.snapshot()
+        comm.broadcast({"w": np.zeros(4)})
+        delta = comm.snapshot() - before
+        assert delta.downlink_bytes == 2 * 32
+
+
+class TestRegistryProbe:
+    def test_unlocked_insert_raises(self):
+        reg = MetricsRegistry()
+        install_registry_probe(reg)
+        with pytest.raises(LockViolationError, match="boom"):
+            reg._metrics["boom"] = 1
+
+    def test_locked_instrument_creation_passes(self):
+        reg = MetricsRegistry()
+        install_registry_probe(reg)
+        reg.counter("ok").inc()
+        assert reg.counter("ok").value == 1
+
+    def test_existing_instruments_preserved(self):
+        reg = MetricsRegistry()
+        reg.counter("pre").inc(5)
+        install_registry_probe(reg)
+        assert reg.counter("pre").value == 5
+
+    def test_null_registry_skipped(self):
+        install_registry_probe(NULL_REGISTRY)  # must not blow up
+        assert not isinstance(getattr(NULL_REGISTRY, "_metrics", None), GuardedDict)
+
+    def test_probe_idempotent(self):
+        reg = MetricsRegistry()
+        install_registry_probe(reg)
+        table = reg._metrics
+        install_registry_probe(reg)
+        assert reg._metrics is table
+
+
+# ----------------------------------------------------------------------
+# trainer integration
+# ----------------------------------------------------------------------
+class TestTrainerIntegration:
+    def test_nan_tripwire_catches_fault_corruption(self):
+        # Every upload corrupted to NaN, quarantine off: the poisoned
+        # global model reaches round 1's forward pass, where the
+        # sanitizer names the first op that went non-finite.
+        plan = FaultPlan.from_spec("corrupt=1.0:mode=nan", seed=0)
+        cfg = FedOMDConfig(
+            max_rounds=3,
+            patience=50,
+            hidden=16,
+            sanitize=True,
+            quarantine_nonfinite=False,
+        )
+        trainer = FedOMDTrainer(small_parts(), cfg, seed=0, faults=plan)
+        with pytest.raises(NonFiniteValueError, match="op `"):
+            trainer.run()
+        # The try/finally in run() must not leak the sanitizer.
+        assert get_tensor_sanitizer() is None
+
+    def test_quarantine_defuses_the_same_corruption(self):
+        # Same fault plan, quarantine on: NaN uploads never reach FedAvg,
+        # so the sanitized run completes.
+        plan = FaultPlan.from_spec("corrupt=1.0:mode=nan", seed=0)
+        cfg = FedOMDConfig(max_rounds=2, patience=50, hidden=16, sanitize=True)
+        history = FedOMDTrainer(small_parts(), cfg, seed=0, faults=plan).run()
+        assert len(history) == 2
+
+    def test_sanitized_history_bitwise_identical_to_golden(self):
+        cfg = FedOMDConfig(max_rounds=3, patience=50, hidden=16, sanitize=True)
+        history = FedOMDTrainer(small_parts(), cfg, seed=0).run()
+        assert digest(history) == GOLDEN_DIGEST
+
+    def test_sanitized_parallel_run_bitwise_identical_to_golden(self):
+        # num_workers=2 arms the concurrency probes too; the trajectory
+        # must still match the serial unsanitized golden digest.
+        cfg = FedOMDConfig(
+            max_rounds=3, patience=50, hidden=16, sanitize=True, num_workers=2
+        )
+        history = FedOMDTrainer(small_parts(), cfg, seed=0).run()
+        assert digest(history) == GOLDEN_DIGEST
+
+    def test_serial_run_leaves_comm_unprobed(self):
+        cfg = FedOMDConfig(max_rounds=1, patience=50, hidden=16, sanitize=True)
+        trainer = FedOMDTrainer(small_parts(), cfg, seed=0)
+        assert not isinstance(trainer.comm.stats, GuardedCommStats)
+
+    def test_parallel_run_probes_comm(self):
+        cfg = FedOMDConfig(
+            max_rounds=1, patience=50, hidden=16, sanitize=True, num_workers=2
+        )
+        trainer = FedOMDTrainer(small_parts(), cfg, seed=0)
+        assert isinstance(trainer.comm.stats, GuardedCommStats)

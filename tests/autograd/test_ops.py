@@ -10,6 +10,7 @@ from repro.autograd import (
     matmul,
     spmm,
     relu,
+    leaky_relu,
     sigmoid,
     tanh,
     softmax,
@@ -20,7 +21,7 @@ from repro.autograd import (
     l2_norm,
     frobenius_norm,
 )
-from repro.autograd.ops_basic import add, sub, mul, div, power, exp, log, sqrt, clip, absolute, maximum
+from repro.autograd.ops_basic import add, sub, mul, div, neg, power, exp, log, sqrt, clip, absolute, maximum
 from repro.autograd.ops_matmul import transpose
 from repro.autograd.ops_reduce import sum as tsum, mean as tmean, max as tmax
 from repro.autograd.ops_shape import reshape, getitem
@@ -51,6 +52,13 @@ class TestElementwise:
     def test_sub(self):
         a, b = rand_t(3, 4), rand_t(3, 4)
         assert gradcheck(lambda x, y: (sub(x, y) ** 2).sum(), [a, b])
+
+    def test_neg(self):
+        assert gradcheck(lambda x: (neg(x) ** 3).sum(), [rand_t(3, 4)])
+
+    def test_neg_dunder_matches_op(self):
+        a = rand_t(2, 3, requires_grad=False)
+        np.testing.assert_array_equal((-a).data, neg(a).data)
 
     def test_sub_broadcast_keepdim_mean(self):
         # The moment computation subtracts a (1, d) mean from (n, d) features.
@@ -216,6 +224,18 @@ class TestReductions:
 class TestNNOps:
     def test_relu(self):
         assert gradcheck(lambda x: (relu(x) ** 2).sum(), [rand_t(4, 5)])
+
+    def test_leaky_relu(self):
+        # Shift away from 0 so finite differences never straddle the kink.
+        assert gradcheck(
+            lambda x: (leaky_relu(x + 5.0) ** 2).sum() + (leaky_relu(x - 5.0) ** 2).sum(),
+            [rand_t(4, 5)],
+        )
+
+    def test_leaky_relu_negative_slope(self):
+        a = Tensor([-2.0, 3.0], requires_grad=True)
+        leaky_relu(a, negative_slope=0.1).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.1, 1.0])
 
     def test_relu_kills_negative_grad(self):
         a = Tensor([-1.0, 2.0], requires_grad=True)
