@@ -45,6 +45,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="project root for cross-file rules (default: cwd)",
     )
     parser.add_argument(
+        "--exclude",
+        action="append",
+        dest="exclude",
+        metavar="SUBSTR",
+        help="skip files whose path contains this substring (repeatable); "
+        "e.g. --exclude tests/analysis/fixtures",
+    )
+    parser.add_argument(
+        "--no-dataflow",
+        action="store_true",
+        help="skip the interprocedural dataflow rules (RL007-RL009); "
+        "used to lint trees (tests/, benchmarks/) where whole-program "
+        "taint/protocol analysis does not apply",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalog and exit",
@@ -64,13 +79,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"       {cls.rationale}")
         return 0
 
+    rules = args.rules
+    if args.no_dataflow:
+        import repro.analysis.rules  # noqa: F401  (registers the rule set)
+
+        dataflow_ids = {"RL007", "RL008", "RL009"}
+        rules = [r for r in (rules or all_rule_ids()) if r not in dataflow_ids]
+
     try:
-        linter = Linter(rules=args.rules, root=Path(args.root) if args.root else None)
+        linter = Linter(rules=rules, root=Path(args.root) if args.root else None)
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    report = linter.lint_paths(args.paths)
+    report = linter.lint_paths(args.paths, exclude=args.exclude or ())
     print(RENDERERS[args.format](report))
     return 0 if report.ok else 1
 

@@ -229,10 +229,22 @@ class Linter:
         self.root = Path(root) if root is not None else Path.cwd()
 
     # ------------------------------------------------------------------
-    def lint_paths(self, paths: Sequence[str]) -> LintReport:
+    def lint_paths(
+        self, paths: Sequence[str], exclude: Sequence[str] = ()
+    ) -> LintReport:
+        """Lint every Python file under ``paths``.
+
+        ``exclude`` drops files whose path contains any of the given
+        substrings — how CI lints ``tests/`` without tripping over the
+        deliberately-violating lint fixtures.
+        """
         files: List[Path] = []
         for p in paths:
             files.extend(iter_python_files(Path(p)))
+        if exclude:
+            files = [
+                f for f in files if not any(pat in str(f) for pat in exclude)
+            ]
         return self.lint_files(files)
 
     def lint_files(self, files: Sequence[Path]) -> LintReport:

@@ -520,3 +520,8 @@ class BareLenDivisor(Rule):
                     "denominator to an explicit, named count/weight variable "
                     "(it must reflect who actually contributed this round)",
                 )
+
+
+# The interprocedural rules (RL007-RL009) live in their own module but
+# register through the same registry; importing either module loads both.
+from repro.analysis import rules_dataflow  # noqa: E402, F401

@@ -1,0 +1,133 @@
+"""Interprocedural rules RL007–RL009, built on :mod:`repro.analysis.dataflow`.
+
+These rules need the whole project parsed (taint crosses files: the
+sources live in ``graphs/`` and ``gnn/`` forwards, the sinks in
+``federated/``), so all three do their work in :meth:`Rule.finish` over
+the shared :class:`~repro.analysis.dataflow.ProjectIndex` — one index is
+built per run and reused by whichever of the three rules are enabled.
+
+Reporting scope mirrors RL006: findings are only *emitted* for files
+under the aggregation/communication directories (``federated/``,
+``core/``, ``baselines/``, ``extensions/``) for RL007/RL008 — analysis
+still spans every file so taint and call chains resolve — while RL009
+(deadlocks) reports everywhere.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.dataflow import (
+    LockOrderAnalysis,
+    PHASE_NAMES,
+    ProjectIndex,
+    ProtocolAnalysis,
+    TaintAnalysis,
+    TaintFinding,
+)
+from repro.analysis.lint import ProjectContext, Rule, Violation, register_rule
+
+#: Where RL007/RL008 findings are reported (same scope as RL006).
+SCOPE_DIRS = {"federated", "core", "baselines", "extensions"}
+
+
+def _in_scope(display: str) -> bool:
+    return bool(SCOPE_DIRS.intersection(Path(display).parts))
+
+
+# [project, index] of the most recent run.  The project is held by
+# strong reference and compared by identity — an id()-keyed dict would
+# hand a recycled id a stale index after the old project is collected.
+_INDEX_CACHE: List[object] = []
+
+
+def _index_for(project: ProjectContext) -> ProjectIndex:
+    """One ProjectIndex per linter run, shared by RL007/RL008/RL009."""
+    if _INDEX_CACHE and _INDEX_CACHE[0] is project:
+        return _INDEX_CACHE[1]  # type: ignore[return-value]
+    index = ProjectIndex(list(project.files.values()))
+    _INDEX_CACHE[:] = [project, index]
+    return index
+
+
+@register_rule
+class PrivacyEscape(Rule):
+    id = "RL007"
+    name = "no-raw-party-data-uplink"
+    rationale = (
+        "FedOMD's privacy claim (§4.4) is that only statistics cross the "
+        "Communicator: raw party tensors (graph.x/.y/.edge_index/.adj) "
+        "reaching an uplink without a sanitizing aggregate "
+        "(mean/sum/state_dict/moment helpers) is a privacy escape. "
+        "Legitimate aggregate uploads carry `# privacy-ok(<reason>)`."
+    )
+
+    def finish(self, project: ProjectContext) -> Iterable[Violation]:
+        analysis = TaintAnalysis(_index_for(project))
+        for f in analysis.run():
+            if not _in_scope(f.path):
+                continue
+            yield self.violation(
+                f.path,
+                f.line,
+                f"raw party data reaches uplink `{f.sink}` without a "
+                f"sanitizer: {f.render_trace()} "
+                "(aggregate uploads declare `# privacy-ok(<reason>)`)",
+            )
+
+
+@register_rule
+class ProtocolConformance(Rule):
+    id = "RL008"
+    name = "algorithm1-phase-order"
+    rationale = (
+        "Algorithm 1's round is a fixed sequence — broadcast weights, "
+        "upload means, download global means, upload moments, download "
+        "global moments, upload weights — and the moment math is only "
+        "exact in that order (round-2 moments are taken about the "
+        "round-1 global means). Kind-tagged Communicator calls must "
+        "advance the phase monotonically within a round."
+    )
+
+    def finish(self, project: ProjectContext) -> Iterable[Violation]:
+        analysis = ProtocolAnalysis(
+            _index_for(project), report_for=lambda fn: _in_scope(fn.ctx.display)
+        )
+        order = " -> ".join(PHASE_NAMES[i] for i in range(6))
+        for f in analysis.run():
+            prev_path, prev_line = f.prev_site
+            yield self.violation(
+                f.path,
+                f.line,
+                f"protocol-order violation: `{PHASE_NAMES[f.next_phase]}` "
+                f"cannot follow `{PHASE_NAMES[f.prev_phase]}` "
+                f"(at {prev_path}:{prev_line}) within a round; "
+                f"Algorithm 1 order is {order}",
+            )
+
+
+@register_rule
+class LockOrderCycles(Rule):
+    id = "RL009"
+    name = "no-lock-order-cycles"
+    rationale = (
+        "Nested `with <lock>` blocks (directly, through calls, or via "
+        "`# guarded-by(<lock>)` annotated statements) define a "
+        "lock-acquisition order; a cycle in that graph is a potential "
+        "deadlock between executor worker threads and the coordinator."
+    )
+
+    def finish(self, project: ProjectContext) -> Iterable[Violation]:
+        analysis = LockOrderAnalysis(_index_for(project))
+        for f in analysis.run():
+            cycle = " -> ".join((*f.cycle, f.cycle[0]))
+            edges = "; ".join(
+                f"{a} held while acquiring {b} at {site.path}:{site.line}"
+                for a, b, site in f.sites
+            )
+            yield self.violation(
+                f.path,
+                f.line,
+                f"lock-order cycle {cycle} ({edges})",
+            )

@@ -21,7 +21,24 @@ loop to detect, with op-name provenance in every error:
 ``CommStats`` and a :class:`MetricsRegistry`'s instrument table so that
 any mutation performed while the owning ``_lock`` is *not* held by the
 current thread raises :class:`LockViolationError`.  Only armed when the
-trainer actually runs multi-threaded (``num_workers > 1``).
+trainer actually runs multi-threaded (``num_workers > 1``).  The probed
+:class:`OwnedLock`\\ s additionally report every acquisition to a
+:class:`LockOrderRecorder` — the runtime counterpart of rule RL009 —
+which raises :class:`LockOrderError` the moment two locks are taken in
+opposite orders on different code paths, before the schedules that
+actually deadlock can occur.
+
+**Protocol monitor** (:class:`ProtocolMonitor`).  The runtime
+counterpart of rules RL007/RL008, attached to the Communicator's
+``_monitor`` hook whenever ``--sanitize`` is on (serial runs included).
+It imports the *same* phase table the static checker uses
+(:data:`repro.analysis.dataflow.PROTOCOL_PHASES`), so the two can never
+disagree about Algorithm 1's round order; kind-tagged transfers must
+advance the phase monotonically within a round
+(:class:`ProtocolViolationError` otherwise), and every uplink payload is
+checked against the registered private party tensors with
+``np.may_share_memory`` (:class:`PrivacyEscapeError` on aliasing) —
+only statistics may cross the channel, never raw rows (§4.4).
 
 Sanitizers only *read* values — they touch no RNG and change no numeric
 path — so sanitized and unsanitized runs are bitwise identical
@@ -38,10 +55,16 @@ from __future__ import annotations
 
 import hashlib
 import threading
-from typing import Optional, Sequence
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.analysis.dataflow import (
+    PHASE_NAMES,
+    PROTOCOL_PHASES,
+    ROUND_BOUNDARY,
+    transition_allowed,
+)
 from repro.autograd.tensor import (
     _DEFAULT_DTYPE,
     Tensor,
@@ -69,6 +92,18 @@ class DtypeDriftError(SanitizerError):
 
 class LockViolationError(SanitizerError):
     """Shared state was mutated without holding its owning lock."""
+
+
+class LockOrderError(SanitizerError):
+    """Two locks were acquired in opposite orders on different paths."""
+
+
+class ProtocolViolationError(SanitizerError):
+    """A kind-tagged transfer broke Algorithm 1's round ordering."""
+
+
+class PrivacyEscapeError(SanitizerError):
+    """An uplink payload aliases a party's raw (private) tensors."""
 
 
 # ----------------------------------------------------------------------
@@ -152,22 +187,188 @@ class AutogradSanitizer:
 
 
 # ----------------------------------------------------------------------
+# protocol monitor (runtime RL007/RL008)
+# ----------------------------------------------------------------------
+def _iter_arrays(payload: Any) -> Iterator[np.ndarray]:
+    """Every ndarray inside a (possibly nested) payload structure."""
+    if isinstance(payload, np.ndarray):
+        yield payload
+    elif isinstance(payload, dict):
+        for v in payload.values():
+            yield from _iter_arrays(v)
+    elif isinstance(payload, (list, tuple)):
+        for v in payload:
+            yield from _iter_arrays(v)
+
+
+class ProtocolMonitor:
+    """Runtime Algorithm-1 conformance checker and privacy tripwire.
+
+    Installed on a :class:`Communicator`'s ``_monitor`` hook by
+    :meth:`SanitizerSession.attach_communicator`; the transport calls
+    :meth:`on_event` at the top of every collective (before metering, so
+    a violation aborts the transfer with the counters untouched) and
+    :meth:`on_round_end` at round boundaries.
+
+    Phase legality is decided by the same
+    :data:`~repro.analysis.dataflow.PROTOCOL_PHASES` table and
+    :func:`~repro.analysis.dataflow.transition_allowed` predicate the
+    static RL008 rule uses, so the static and runtime checkers cannot
+    drift apart.  Untagged (``other``-kind) traffic carries no phase and
+    is only privacy-checked.
+
+    The monitor is read-only — it inspects payload *identity* (buffer
+    overlap via ``np.may_share_memory``), never values, and touches no
+    RNG — so sanitized runs remain bitwise identical to unsanitized
+    ones.  Partial participation and fault quarantine are legal by
+    construction: a dropped client's upload never reaches the transport
+    (``ClientDropped`` is raised first), and skipping phases forward is
+    always allowed.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._phase = ROUND_BOUNDARY  # pre-round: anything may start
+        self._rounds_seen = 0
+        self._private: List[Tuple[str, np.ndarray]] = []
+
+    def register_private_array(self, name: str, arr: np.ndarray) -> None:
+        """Declare ``arr`` as raw party data that must never be uploaded."""
+        with self._lock:
+            self._private.append((name, np.asarray(arr)))
+
+    # -- transport hooks ----------------------------------------------
+    def on_event(self, direction: str, kind: str, payload: Any) -> None:
+        """One collective fired: ``direction`` is ``"up"``/``"down"``."""
+        if direction == "up":
+            self._check_privacy(kind, payload)
+        phase = PROTOCOL_PHASES.get((direction, kind))
+        if phase is None:
+            return
+        with self._lock:
+            prev = self._phase
+            if not transition_allowed(prev, phase):
+                raise ProtocolViolationError(
+                    f"Algorithm 1 phase order violated (round "
+                    f"{self._rounds_seen}): `{PHASE_NAMES[phase]}` cannot "
+                    f"follow `{PHASE_NAMES[prev]}` within a round"
+                )
+            self._phase = phase
+
+    def on_round_end(self) -> None:
+        with self._lock:
+            self._phase = ROUND_BOUNDARY
+            self._rounds_seen += 1
+
+    # -- privacy tripwire ---------------------------------------------
+    def _check_privacy(self, kind: str, payload: Any) -> None:
+        with self._lock:
+            private = list(self._private)
+        if not private:
+            return
+        for arr in _iter_arrays(payload):
+            if arr.size == 0:
+                continue
+            for name, priv in private:
+                if priv.size and np.may_share_memory(arr, priv):
+                    raise PrivacyEscapeError(
+                        f"uplink payload (kind `{kind}`, shape {arr.shape}) "
+                        f"aliases private party tensor `{name}`: only "
+                        "statistics may cross the Communicator (§4.4), "
+                        "never raw features/labels/structure"
+                    )
+
+
+# ----------------------------------------------------------------------
 # concurrency probe
 # ----------------------------------------------------------------------
+class LockOrderRecorder:
+    """Runtime lock-order tracking — the dynamic counterpart of RL009.
+
+    Each thread keeps a stack of the (probed) locks it currently holds;
+    acquiring ``b`` while holding ``a`` records the order edge ``a → b``
+    in a process-global graph.  If the reverse order was ever recorded,
+    the acquisition raises :class:`LockOrderError` immediately — on the
+    *first* inconsistent run, not only on the unlucky interleaving that
+    actually deadlocks.
+    """
+
+    def __init__(self) -> None:
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        self._after: Dict[str, Set[str]] = {}
+
+    def _held(self) -> List[str]:
+        held = getattr(self._tls, "held", None)
+        if held is None:
+            # threading.local: each thread sees only its own attribute.
+            held = self._tls.held = []  # repro-lint: disable=RL005
+        return held
+
+    def _path(self, src: str, dst: str) -> Optional[List[str]]:
+        """Edge path ``src → … → dst`` in the order graph, if any."""
+        stack: List[Tuple[str, List[str]]] = [(src, [src])]
+        seen = {src}
+        while stack:
+            node, path = stack.pop()
+            if node == dst:
+                return path
+            for nxt in sorted(self._after.get(node, ())):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, path + [nxt]))
+        return None
+
+    def acquired(self, name: str) -> None:
+        held = self._held()
+        for h in held:
+            if h == name:
+                continue
+            with self._lock:
+                path = self._path(name, h)
+                if path is not None:
+                    order = " -> ".join(path)
+                    raise LockOrderError(
+                        f"lock-order cycle: thread "
+                        f"{threading.current_thread().name!r} acquires "
+                        f"`{name}` while holding `{h}`, but the recorded "
+                        f"order is {order} — opposite nesting on another "
+                        "path can deadlock"
+                    )
+                self._after.setdefault(h, set()).add(name)
+        held.append(name)
+
+    def released(self, name: str) -> None:
+        held = self._held()
+        for i in range(len(held) - 1, -1, -1):
+            if held[i] == name:
+                del held[i]
+                break
+
+
 class OwnedLock:
     """A lock that knows which thread holds it.
 
     Drop-in for ``threading.Lock`` in ``with``-statement use; mutation
     probes consult :attr:`held_by_me` to assert the caller entered the
-    critical section before touching shared state.
+    critical section before touching shared state.  When constructed
+    with a :class:`LockOrderRecorder` every acquisition/release is also
+    reported under the lock's ``name`` for cycle detection.
     """
 
     # The wrapped lock is deliberately named `_inner`, not `_lock`:
     # RL005 treats a `_lock` attribute as a shared-state marker.
 
-    def __init__(self, inner: Optional[threading.Lock] = None) -> None:
+    def __init__(
+        self,
+        inner: Optional[threading.Lock] = None,
+        name: str = "lock",
+        recorder: Optional[LockOrderRecorder] = None,
+    ) -> None:
         self._inner = inner if inner is not None else threading.Lock()
         self._owner: Optional[int] = None
+        self._name = name
+        self._recorder = recorder
 
     @property
     def held_by_me(self) -> bool:
@@ -177,9 +378,19 @@ class OwnedLock:
         got = self._inner.acquire(blocking, timeout)
         if got:
             self._owner = threading.get_ident()
+            if self._recorder is not None:
+                try:
+                    self._recorder.acquired(self._name)
+                except LockOrderError:
+                    # Don't leave the lock held behind the error.
+                    self._owner = None
+                    self._inner.release()
+                    raise
         return got
 
     def release(self) -> None:
+        if self._recorder is not None:
+            self._recorder.released(self._name)
         self._owner = None
         self._inner.release()
 
@@ -270,21 +481,24 @@ class GuardedDict(dict):
         super().update(*args, **kwargs)
 
 
-def install_comm_probe(comm) -> None:
+def install_comm_probe(comm, recorder: Optional[LockOrderRecorder] = None) -> None:
     """Arm lock-ownership checking on a :class:`Communicator` (idempotent).
 
     Replaces ``comm._lock`` with an :class:`OwnedLock` (wrapping the
     original, so existing ``with comm._lock`` sites keep working) and
-    ``comm.stats`` with a :class:`GuardedCommStats` bound to it.
+    ``comm.stats`` with a :class:`GuardedCommStats` bound to it.  With a
+    ``recorder`` the lock also participates in lock-order tracking.
     """
     if isinstance(comm.stats, GuardedCommStats):
         return
     if not isinstance(comm._lock, OwnedLock):
-        comm._lock = OwnedLock(comm._lock)
+        comm._lock = OwnedLock(
+            comm._lock, name="Communicator._lock", recorder=recorder
+        )
     comm.stats = GuardedCommStats.adopt(comm.stats, comm._lock)
 
 
-def install_registry_probe(registry) -> None:
+def install_registry_probe(registry, recorder: Optional[LockOrderRecorder] = None) -> None:
     """Arm lock-ownership checking on a :class:`MetricsRegistry` (idempotent).
 
     No-op for the null registry (nothing mutates) and for registries
@@ -295,7 +509,9 @@ def install_registry_probe(registry) -> None:
     if isinstance(registry._metrics, GuardedDict):
         return
     if not isinstance(registry._lock, OwnedLock):
-        registry._lock = OwnedLock(registry._lock)
+        registry._lock = OwnedLock(
+            registry._lock, name="MetricsRegistry._lock", recorder=recorder
+        )
     registry._metrics = GuardedDict(registry._metrics, registry._lock)
 
 
@@ -315,6 +531,8 @@ class SanitizerSession:
 
     def __init__(self, concurrency: bool = False) -> None:
         self.autograd = AutogradSanitizer()
+        self.protocol = ProtocolMonitor()
+        self.lock_order = LockOrderRecorder()
         self.concurrency = bool(concurrency)
         self._prev: Optional[AutogradSanitizer] = None
         self._installed = False
@@ -347,14 +565,25 @@ class SanitizerSession:
 
     # -- probes -------------------------------------------------------
     def attach_communicator(self, comm) -> None:
-        """Probe a Communicator's stats (no-op unless ``concurrency``)."""
+        """Arm the protocol monitor; under ``concurrency`` also probe stats.
+
+        The :class:`ProtocolMonitor` is attached serial and parallel
+        alike (it guards protocol order and privacy, not locking); the
+        stats/lock probes stay concurrency-gated.
+        """
+        comm._monitor = self.protocol
         if self.concurrency:
-            install_comm_probe(comm)
+            install_comm_probe(comm, recorder=self.lock_order)
 
     def attach_registry(self, registry) -> None:
         """Probe a MetricsRegistry's table (no-op unless ``concurrency``)."""
         if self.concurrency:
-            install_registry_probe(registry)
+            install_registry_probe(registry, recorder=self.lock_order)
+
+    def register_private_arrays(self, named: Iterable[Tuple[str, np.ndarray]]) -> None:
+        """Feed raw party tensors to the protocol monitor's tripwire."""
+        for name, arr in named:
+            self.protocol.register_private_array(name, arr)
 
 
 __all__ = [
@@ -363,7 +592,12 @@ __all__ = [
     "NonFiniteValueError",
     "DtypeDriftError",
     "LockViolationError",
+    "LockOrderError",
+    "ProtocolViolationError",
+    "PrivacyEscapeError",
     "AutogradSanitizer",
+    "ProtocolMonitor",
+    "LockOrderRecorder",
     "OwnedLock",
     "GuardedCommStats",
     "GuardedDict",

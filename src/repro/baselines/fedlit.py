@@ -175,6 +175,7 @@ class FedLITTrainer(FederatedTrainer):
                 new_adjs.append(self._cluster_edges(c.graph, h.data))
             self._typed_adjs = new_adjs
             # Upload centroids for server-side type alignment (metered).
+            # privacy-ok(kmeans centroids are per-cluster edge-embedding means, not raw rows)
             gathered = self.comm.gather(self._centroids)
             self._align_types(gathered)
 

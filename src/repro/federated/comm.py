@@ -52,8 +52,12 @@ def payload_bytes(payload: Any) -> int:
         return 0
     if isinstance(payload, np.ndarray):
         return int(payload.nbytes)
-    if isinstance(payload, (int, float, np.integer, np.floating, bool)):
+    # np.bool_ is not a bool/int subclass (and complex is not float):
+    # both used to fall through to the TypeError below.
+    if isinstance(payload, (bool, np.bool_, int, float, np.integer, np.floating)):
         return 8
+    if isinstance(payload, (complex, np.complexfloating)):
+        return 16
     if isinstance(payload, str):
         return len(payload.encode())
     if isinstance(payload, dict):
@@ -154,10 +158,24 @@ class Communicator:
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
+    # Optional observer (duck-typed: on_event / on_round_end), set by the
+    # sanitizer's ProtocolMonitor.  Hot paths pay one `is None` test.
+    _monitor: Any = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.num_clients < 1:
             raise ValueError("need at least one client")
+
+    def _notify(self, direction: str, kind: str, payload: Any) -> None:
+        """Report a collective to the attached monitor, if any.
+
+        Called at the top of each collective — before metering — so a
+        protocol/privacy violation aborts the transfer with the
+        counters untouched.
+        """
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.on_event(direction, kind, payload)
 
     def snapshot(self) -> CommStats:
         """Consistent copy of the counters (safe during concurrent sends)."""
@@ -191,6 +209,7 @@ class Communicator:
     # -- collectives ------------------------------------------------------
     def broadcast(self, payload: Any, kind: str = KIND_OTHER) -> List[Any]:
         """Server → all clients.  Returns one independent copy per client."""
+        self._notify("down", kind, payload)
         size = payload_bytes(payload)
         self._meter_downlink(size * self.num_clients, self.num_clients, kind=kind)
         return [copy.deepcopy(payload) for _ in range(self.num_clients)]
@@ -198,6 +217,7 @@ class Communicator:
     def send_to_client(self, client_id: int, payload: Any, kind: str = KIND_OTHER) -> Any:
         """Server → one client."""
         self._check_id(client_id)
+        self._notify("down", kind, payload)
         self._meter_downlink(payload_bytes(payload), kind=kind)
         return copy.deepcopy(payload)
 
@@ -205,6 +225,7 @@ class Communicator:
         """All clients → server.  ``payloads[i]`` comes from client ``i``."""
         if len(payloads) != self.num_clients:
             raise ValueError(f"expected {self.num_clients} payloads, got {len(payloads)}")
+        self._notify("up", kind, payloads)
         for p in payloads:
             self._meter_uplink(payload_bytes(p), kind=kind)
         return [copy.deepcopy(p) for p in payloads]
@@ -212,6 +233,7 @@ class Communicator:
     def send_to_server(self, client_id: int, payload: Any, kind: str = KIND_OTHER) -> Any:
         """One client → server."""
         self._check_id(client_id)
+        self._notify("up", kind, payload)
         self._meter_uplink(payload_bytes(payload), kind=kind)
         return copy.deepcopy(payload)
 
@@ -223,6 +245,7 @@ class Communicator:
         decentralized baselines and extensions.
         """
         gathered = self.gather(payloads, kind=kind)
+        self._notify("down", kind, gathered)
         out = []
         for _ in range(self.num_clients):
             size = sum(payload_bytes(p) for p in gathered)
@@ -232,6 +255,9 @@ class Communicator:
 
     def end_round(self) -> None:
         """Mark a communication-round boundary (for per-round averages)."""
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.on_round_end()
         with self._lock:
             self.stats.rounds += 1
 

@@ -59,7 +59,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
-from repro.federated.comm import Communicator, KIND_WEIGHTS
+from repro.federated.comm import Communicator, KIND_OTHER, KIND_WEIGHTS
 from repro.federated.executor import ClientExecutor
 from repro.obs import get_registry, get_tracer
 
@@ -494,7 +494,7 @@ class FaultyCommunicator(Communicator):
         super().__init__(num_clients=num_clients)
         self.injector = injector
 
-    def send_to_server(self, client_id: int, payload: Any, kind: str = "other") -> Any:
+    def send_to_server(self, client_id: int, payload: Any, kind: str = KIND_OTHER) -> Any:
         if self.injector.event(client_id, DROP) is not None:
             self.injector.mark_failed(client_id, DROP)
             raise ClientDropped(client_id)

@@ -175,6 +175,17 @@ class FederatedTrainer:
             self.clients.append(
                 Client(cid, g, model, lr=self.config.lr, weight_decay=self.config.weight_decay)
             )
+        if self.sanitizer is not None:
+            # Declare every party's raw tensors to the privacy tripwire:
+            # an upload aliasing any of these buffers is a §4.4 escape.
+            for c in self.clients:
+                self.sanitizer.register_private_arrays(
+                    [
+                        (f"client{c.cid}.graph.x", c.graph.x),
+                        (f"client{c.cid}.graph.y", c.graph.y),
+                        (f"client{c.cid}.graph.adj", c.graph.adj.data),
+                    ]
+                )
         self._sync_initial_state()
 
     # ------------------------------------------------------------------

@@ -1,0 +1,25 @@
+"""RL008 fixture: Algorithm-1 phase order over kind-tagged transfers."""
+
+KIND_WEIGHTS = "weights"
+KIND_MEANS = "means"
+KIND_MOMENTS = "moments"
+
+
+def legal_round(comm, means, moments, state):
+    comm.broadcast(state, kind=KIND_WEIGHTS)
+    comm.gather(means, kind=KIND_MEANS)
+    comm.send_to_client(0, means, kind=KIND_MEANS)
+    comm.gather(moments, kind=KIND_MOMENTS)
+    comm.send_to_client(0, moments, kind=KIND_MOMENTS)
+    comm.send_to_server(0, state, kind=KIND_WEIGHTS)
+    comm.end_round()
+
+
+def swapped_round(comm, means, moments):
+    comm.gather(moments, kind=KIND_MOMENTS)
+    comm.gather(means, kind=KIND_MEANS)  # VIOLATION: moments before means
+
+
+def suppressed_round(comm, means, moments):
+    comm.gather(moments, kind=KIND_MOMENTS)
+    comm.gather(means, kind=KIND_MEANS)  # repro-lint: disable=RL008

@@ -1,0 +1,33 @@
+"""RL007 fixture: raw party tensors vs. statistics at the uplink.
+
+The pinned VIOLATION lines are asserted by tests/analysis/test_rules.py.
+"""
+
+from core.features import feature_mean, raw_rows
+
+
+def upload_mean(comm, graph):
+    stat = graph.x.mean(axis=0)
+    return comm.send_to_server(0, stat)  # clean: sanitized by .mean()
+
+
+def upload_helper_mean(comm, g):
+    return comm.send_to_server(0, feature_mean(g))  # clean across files
+
+
+def upload_raw(comm, graph):
+    return comm.send_to_server(0, graph.x)  # VIOLATION: raw features
+
+
+def upload_helper_leak(comm, g):
+    rows = raw_rows(g)
+    return comm.send_to_server(1, rows)  # VIOLATION: leak through helper
+
+
+def upload_allowlisted(comm, graph):
+    # privacy-ok(fixture: vetted aggregate masquerading as raw labels)
+    return comm.send_to_server(0, graph.y)
+
+
+def upload_suppressed(comm, graph):
+    return comm.send_to_server(0, graph.adj)  # repro-lint: disable=RL007

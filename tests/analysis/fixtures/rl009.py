@@ -1,0 +1,39 @@
+"""RL009 fixture: opposite `with` nesting of two locks = deadlock risk.
+
+A cycle is reported once, at the site of its first recorded edge (the
+inner ``with`` of the lexically first function on the cycle).
+"""
+
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self.alock = threading.Lock()
+        self.block = threading.Lock()
+
+    def forward(self):
+        with self.alock:
+            with self.block:  # VIOLATION: backward() nests the other way
+                return 1
+
+    def backward(self):
+        with self.block:
+            with self.alock:
+                return 2
+
+
+class SuppressedPair:
+    def __init__(self):
+        self.xlock = threading.Lock()
+        self.ylock = threading.Lock()
+
+    def one(self):
+        with self.xlock:
+            with self.ylock:  # repro-lint: disable=RL009
+                return 1
+
+    def two(self):
+        with self.ylock:
+            with self.xlock:
+                return 2

@@ -1,0 +1,103 @@
+"""Unit tests for the interprocedural dataflow engine itself.
+
+The rule-level behavior (fixture projects, pinned lines, suppressions)
+lives in ``test_rules.py``; this module pins the engine semantics the
+rules rest on: the Algorithm-1 phase lattice, and how taint moves
+through sanitizers, containers, subscripts, and instance attributes.
+"""
+
+import pytest
+
+from repro.analysis import Linter
+from repro.analysis.dataflow import (
+    PHASE_NAMES,
+    PROTOCOL_PHASES,
+    ROUND_BOUNDARY,
+    transition_allowed,
+)
+
+
+def _rl007(src: str, path: str = "federated/mod.py"):
+    return Linter(rules=["RL007"]).lint_source(src, path=path)
+
+
+class TestPhaseTable:
+    def test_six_phases_named(self):
+        assert sorted(PROTOCOL_PHASES.values()) == list(range(6))
+        assert set(PHASE_NAMES) >= set(range(6))
+
+    def test_forward_transitions_allowed(self):
+        for p in range(6):
+            for q in range(p, 6):
+                assert transition_allowed(p, q)
+
+    def test_backward_transitions_rejected_except_broadcast(self):
+        for p in range(1, 6):
+            for q in range(1, p):
+                assert not transition_allowed(p, q)
+            assert transition_allowed(p, 0)  # round delimiter
+
+    def test_round_boundary_is_wildcard(self):
+        for p in range(6):
+            assert transition_allowed(p, ROUND_BOUNDARY)
+            assert transition_allowed(ROUND_BOUNDARY, p)
+
+
+class TestTaintSemantics:
+    def test_sanitizer_call_stops_taint(self):
+        src = (
+            "def f(comm, graph):\n"
+            "    return comm.send_to_server(0, graph.x.mean(axis=0))\n"
+        )
+        assert _rl007(src).ok
+
+    def test_raw_source_reaches_sink(self):
+        src = "def f(comm, graph):\n    return comm.send_to_server(0, graph.x)\n"
+        assert not _rl007(src).ok
+
+    def test_container_mutation_carries_taint(self):
+        src = (
+            "def f(comm, graph):\n"
+            "    out = []\n"
+            "    out.append(graph.x)\n"
+            "    return comm.send_to_server(0, out)\n"
+        )
+        assert not _rl007(src).ok
+
+    def test_metadata_attributes_are_clean(self):
+        src = (
+            "def f(comm, graph):\n"
+            "    return comm.send_to_server(0, graph.x.shape)\n"
+        )
+        assert _rl007(src).ok
+
+    def test_subscript_of_tainted_base_stays_tainted(self):
+        src = "def f(comm, graph):\n    return comm.send_to_server(0, graph.x[0])\n"
+        assert not _rl007(src).ok
+
+    def test_tainted_index_does_not_taint_element(self):
+        src = (
+            "def f(comm, graph, table):\n"
+            "    return comm.send_to_server(0, table[graph.y[0]])\n"
+        )
+        assert _rl007(src).ok
+
+    def test_gather_payload_is_the_sink(self):
+        src = "def f(comm, graph):\n    return comm.gather([graph.x])\n"
+        assert not _rl007(src).ok
+
+    def test_taint_flows_through_instance_attribute(self):
+        src = (
+            "class T:\n"
+            "    def stash(self, graph):\n"
+            "        self.raw = graph.x\n"
+            "    def upload(self, comm):\n"
+            "        return comm.send_to_server(0, self.raw)\n"
+        )
+        assert not _rl007(src).ok
+
+    def test_trace_names_source_and_sink(self):
+        src = "def f(comm, graph):\n    return comm.send_to_server(0, graph.adj)\n"
+        report = _rl007(src)
+        (v,) = report.violations
+        assert "graph.adj" in v.message and "send_to_server" in v.message

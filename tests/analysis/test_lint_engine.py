@@ -80,8 +80,18 @@ class TestSuppressions:
 # engine mechanics
 # ----------------------------------------------------------------------
 class TestEngine:
-    def test_all_six_rules_registered(self):
-        assert all_rule_ids() == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+    def test_all_nine_rules_registered(self):
+        assert all_rule_ids() == [
+            "RL001",
+            "RL002",
+            "RL003",
+            "RL004",
+            "RL005",
+            "RL006",
+            "RL007",
+            "RL008",
+            "RL009",
+        ]
         for rid, cls in RULE_REGISTRY.items():
             assert cls.id == rid and cls.name and cls.rationale
 

@@ -30,6 +30,8 @@ CASES = [
     ("RL003", FIXTURES / "rl003.py", [7, 11], 1),
     ("RL005", FIXTURES / "rl005.py", [12, 15], 1),
     ("RL006", FIXTURES / "federated" / "rl006.py", [5], 1),
+    ("RL008", FIXTURES / "core" / "rl008.py", [20], 1),
+    ("RL009", FIXTURES / "rl009.py", [17], 1),
 ]
 
 
@@ -178,6 +180,120 @@ class TestRL006:
         linter = Linter(rules=["RL006"])
         report = linter.lint_source(src, path="federated/agg.py")
         assert report.ok
+
+
+RL007_PROJ = FIXTURES / "rl007proj"
+
+
+class TestRL007:
+    """Interprocedural privacy-escape taint over the fixture project."""
+
+    def _report(self):
+        return Linter(rules=["RL007"], root=RL007_PROJ).lint_paths([str(RL007_PROJ)])
+
+    def test_leaks_fire_clean_paths_do_not(self):
+        report = self._report()
+        # upload_raw (direct) and upload_helper_leak (through
+        # core/features.raw_rows); the two mean-statistic uploads, the
+        # allowlisted upload, and the suppressed one stay quiet.
+        assert fired_lines(report, "RL007") == [19, 24]
+        assert report.suppressed == 1
+
+    def test_cross_file_trace_in_message(self):
+        report = self._report()
+        helper = [v for v in report.violations if v.line == 24]
+        assert len(helper) == 1
+        # The report shows the full source→sink path across files.
+        assert "core/features.py" in helper[0].message
+        assert "send_to_server" in helper[0].message
+
+    def test_privacy_ok_annotation_allowlists(self):
+        report = self._report()
+        assert all("graph.y" not in v.message for v in report.violations)
+
+    def test_cli_exits_nonzero(self, capsys):
+        assert (
+            cli_main([str(RL007_PROJ), "--root", str(RL007_PROJ), "--rule", "RL007"])
+            == 1
+        )
+        capsys.readouterr()
+
+    def test_out_of_scope_sink_not_reported(self):
+        # The same leak in a module outside federated/core/baselines/
+        # extensions is analysis input but not a reporting target.
+        src = "def f(comm, graph):\n    return comm.send_to_server(0, graph.x)\n"
+        linter = Linter(rules=["RL007"])
+        assert linter.lint_source(src, path="gnn/leak.py").ok
+        assert not linter.lint_source(src, path="federated/leak.py").ok
+
+
+class TestRL008:
+    def test_statistic_kinds_required_for_phases(self):
+        # Untagged traffic carries no phase: no ordering constraints.
+        src = (
+            "def f(comm, a, b):\n"
+            "    comm.gather(a)\n"
+            "    comm.gather(b)\n"
+        )
+        assert Linter(rules=["RL008"]).lint_source(src, path="core/x.py").ok
+
+    def test_weight_broadcast_legal_after_any_phase(self):
+        # Phase 0 delimits rounds (it may follow a survivor-less round).
+        src = (
+            "def f(comm, m, state):\n"
+            "    comm.gather(m, kind='moments')\n"
+            "    comm.broadcast(state, kind='weights')\n"
+        )
+        assert Linter(rules=["RL008"]).lint_source(src, path="core/x.py").ok
+
+    def test_end_round_resets_the_phase(self):
+        src = (
+            "def f(comm, m, w):\n"
+            "    comm.gather(m, kind='moments')\n"
+            "    comm.end_round()\n"
+            "    comm.gather(w, kind='means')\n"
+        )
+        assert Linter(rules=["RL008"]).lint_source(src, path="core/x.py").ok
+
+
+class TestRL009:
+    def test_consistent_nesting_clean(self):
+        src = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.alock = threading.Lock()\n"
+            "        self.block = threading.Lock()\n"
+            "    def f(self):\n"
+            "        with self.alock:\n"
+            "            with self.block:\n"
+            "                pass\n"
+            "    def g(self):\n"
+            "        with self.alock:\n"
+            "            with self.block:\n"
+            "                pass\n"
+        )
+        assert Linter(rules=["RL009"]).lint_source(src).ok
+
+    def test_cycle_through_callee_detected(self):
+        src = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self.alock = threading.Lock()\n"
+            "        self.block = threading.Lock()\n"
+            "    def helper(self):\n"
+            "        with self.block:\n"
+            "            pass\n"
+            "    def f(self):\n"
+            "        with self.alock:\n"
+            "            self.helper()\n"
+            "    def g(self):\n"
+            "        with self.block:\n"
+            "            with self.alock:\n"
+            "                pass\n"
+        )
+        assert not Linter(rules=["RL009"]).lint_source(src).ok
 
 
 def test_shipped_tree_is_clean():

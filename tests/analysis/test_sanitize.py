@@ -261,3 +261,168 @@ class TestTrainerIntegration:
         )
         trainer = FedOMDTrainer(small_parts(), cfg, seed=0)
         assert isinstance(trainer.comm.stats, GuardedCommStats)
+
+
+# ----------------------------------------------------------------------
+# protocol monitor (runtime RL007/RL008)
+# ----------------------------------------------------------------------
+class TestProtocolMonitor:
+    def _monitor(self):
+        from repro.analysis.sanitize import ProtocolMonitor
+
+        return ProtocolMonitor()
+
+    def test_full_golden_round_serial_accepted(self):
+        m = self._monitor()
+        for direction, kind in [
+            ("down", "weights"),
+            ("up", "means"),
+            ("down", "means"),
+            ("up", "moments"),
+            ("down", "moments"),
+            ("up", "weights"),
+        ]:
+            m.on_event(direction, kind, np.zeros(2))
+        m.on_round_end()
+        m.on_event("down", "weights", np.zeros(2))  # next round
+
+    def test_partial_participation_may_skip_phases(self):
+        m = self._monitor()
+        m.on_event("down", "weights", None)
+        m.on_event("up", "moments", np.zeros(2))  # means phase skipped
+        m.on_event("down", "weights", None)  # no survivors: no weight upload
+
+    def test_swapped_means_moments_rejected(self):
+        from repro.analysis.sanitize import ProtocolViolationError
+
+        m = self._monitor()
+        m.on_event("up", "moments", np.zeros(2))
+        with pytest.raises(ProtocolViolationError, match="upload means"):
+            m.on_event("up", "means", np.zeros(2))
+
+    def test_end_round_resets_the_phase(self):
+        m = self._monitor()
+        m.on_event("up", "moments", np.zeros(2))
+        m.on_round_end()
+        m.on_event("up", "means", np.zeros(2))  # fresh round: legal
+
+    def test_untagged_traffic_carries_no_phase(self):
+        m = self._monitor()
+        m.on_event("up", "moments", np.zeros(2))
+        m.on_event("up", "other", np.zeros(2))
+        m.on_event("down", "other", None)
+
+    def test_violation_through_communicator_leaves_stats_unmetered(self):
+        from repro.analysis.sanitize import ProtocolViolationError
+
+        comm = Communicator(num_clients=2)
+        s = SanitizerSession()
+        s.attach_communicator(comm)
+        comm.send_to_server(0, np.zeros(3), kind="moments")
+        with pytest.raises(ProtocolViolationError):
+            comm.send_to_server(0, np.zeros(3), kind="means")
+        # _notify runs before metering: the illegal transfer moved nothing.
+        assert comm.stats.uplink_bytes == 24
+        assert comm.stats.uplink_messages == 1
+
+    def test_privacy_tripwire_catches_aliasing_upload(self):
+        from repro.analysis.sanitize import PrivacyEscapeError
+
+        m = self._monitor()
+        x = np.arange(12.0).reshape(3, 4)
+        m.register_private_array("client0.graph.x", x)
+        m.on_event("up", "means", x.mean(axis=0))  # statistic: fine
+        with pytest.raises(PrivacyEscapeError, match="client0.graph.x"):
+            m.on_event("up", "means", {"h": [x[1:]]})  # a view, nested
+
+    def test_downlink_never_privacy_checked(self):
+        m = self._monitor()
+        x = np.zeros(4)
+        m.register_private_array("x", x)
+        m.on_event("down", "weights", x)  # server→client may carry anything
+
+
+class TestRuntimePrivacyEscape:
+    def test_injected_raw_feature_upload_caught(self):
+        # The runtime counterpart of the RL007 fixture: a trainer whose
+        # round uploads a party's raw feature matrix trips the monitor.
+        from repro.analysis.sanitize import PrivacyEscapeError
+
+        class LeakyTrainer(FedOMDTrainer):
+            def begin_round(self, round_idx):
+                c = self.clients[0]
+                self.comm.send_to_server(c.cid, c.graph.x, kind="means")
+                super().begin_round(round_idx)
+
+        cfg = FedOMDConfig(max_rounds=1, patience=50, hidden=16, sanitize=True)
+        trainer = LeakyTrainer(small_parts(), cfg, seed=0)
+        with pytest.raises(PrivacyEscapeError, match="graph.x"):
+            trainer.run()
+
+    def test_statistics_only_run_stays_clean(self):
+        cfg = FedOMDConfig(max_rounds=1, patience=50, hidden=16, sanitize=True)
+        history = FedOMDTrainer(small_parts(), cfg, seed=0).run()
+        assert len(history) == 1
+
+
+# ----------------------------------------------------------------------
+# lock-order recorder (runtime RL009)
+# ----------------------------------------------------------------------
+class TestLockOrderRecorder:
+    def _pair(self):
+        from repro.analysis.sanitize import LockOrderRecorder
+
+        rec = LockOrderRecorder()
+        a = OwnedLock(name="a", recorder=rec)
+        b = OwnedLock(name="b", recorder=rec)
+        return rec, a, b
+
+    def test_consistent_nesting_accepted(self):
+        _, a, b = self._pair()
+        for _ in range(2):
+            with a:
+                with b:
+                    pass
+
+    def test_opposite_nesting_raises(self):
+        from repro.analysis.sanitize import LockOrderError
+
+        _, a, b = self._pair()
+        with a:
+            with b:
+                pass
+        with b:
+            with pytest.raises(LockOrderError, match="cycle"):
+                a.acquire()
+
+    def test_failed_acquisition_releases_the_lock(self):
+        from repro.analysis.sanitize import LockOrderError
+
+        _, a, b = self._pair()
+        with a:
+            with b:
+                pass
+        with b:
+            with pytest.raises(LockOrderError):
+                a.acquire()
+        # The poisoned acquire must not leave `a` held.
+        assert a.acquire(blocking=False)
+        a.release()
+
+    def test_reacquire_same_lock_order_after_release(self):
+        _, a, b = self._pair()
+        with a:
+            with b:
+                pass
+        with a:
+            pass
+        with a:
+            with b:
+                pass
+
+    def test_session_wires_recorder_into_probes(self):
+        s = SanitizerSession(concurrency=True)
+        comm = Communicator(num_clients=2)
+        s.attach_communicator(comm)
+        assert comm._monitor is s.protocol
+        assert comm._lock._recorder is s.lock_order

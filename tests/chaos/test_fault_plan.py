@@ -173,3 +173,60 @@ class TestPayloadHelpers:
         assert not payload_is_finite([np.zeros(2), (np.array([np.inf]),)])
         assert not payload_is_finite(float("nan"))
         assert payload_is_finite(None)
+
+
+class TestFaultyCommunicatorKinds:
+    """`by_kind` attribution must stay exact through drop/corrupt faults."""
+
+    def _comm(self, specs):
+        from repro.federated.faults import FaultInjector, FaultyCommunicator
+
+        injector = FaultInjector(FaultPlan(specs, seed=0))
+        comm = FaultyCommunicator(3, injector)
+        injector.begin_round(0, 3)
+        return comm
+
+    def test_default_kind_is_other_constant(self):
+        from repro.federated.comm import KIND_OTHER
+
+        comm = self._comm([FaultSpec(DROP, 0.0)])
+        comm.send_to_server(0, np.zeros(4))
+        assert comm.stats.by_kind[KIND_OTHER]["uplink_bytes"] == 32
+        assert set(comm.stats.by_kind) == {KIND_OTHER}
+
+    def test_corrupt_preserves_kind_attribution(self):
+        from repro.federated.comm import KIND_WEIGHTS
+
+        comm = self._comm([FaultSpec(CORRUPT, 1.0, clients=frozenset({0}))])
+        out = comm.send_to_server(0, {"w": np.zeros(4)}, kind=KIND_WEIGHTS)
+        assert np.isnan(out["w"]).all()  # the bytes moved, but garbled
+        cell = comm.stats.by_kind[KIND_WEIGHTS]
+        assert cell["uplink_bytes"] == 32 and cell["uplink_messages"] == 1
+        assert comm.stats.uplink_bytes == 32
+
+    def test_corrupt_leaves_statistics_kinds_intact(self):
+        from repro.federated.comm import KIND_MEANS
+
+        comm = self._comm([FaultSpec(CORRUPT, 1.0, clients=frozenset({0}))])
+        out = comm.send_to_server(0, np.ones(3), kind=KIND_MEANS)
+        assert np.isfinite(out).all()  # corrupt only garbles weight uploads
+        assert comm.stats.by_kind[KIND_MEANS]["uplink_bytes"] == 24
+
+    def test_drop_meters_nothing_under_any_kind(self):
+        from repro.federated.comm import KIND_MEANS
+        from repro.federated.faults import ClientDropped
+
+        comm = self._comm([FaultSpec(DROP, 1.0, clients=frozenset({1}))])
+        with pytest.raises(ClientDropped):
+            comm.send_to_server(1, np.zeros(8), kind=KIND_MEANS)
+        assert comm.stats.uplink_bytes == 0 and not comm.stats.by_kind
+
+    def test_kind_cells_sum_to_aggregate(self):
+        from repro.federated.comm import KIND_MEANS, KIND_WEIGHTS
+
+        comm = self._comm([FaultSpec(CORRUPT, 1.0, clients=frozenset({0}))])
+        comm.send_to_server(0, np.zeros(2), kind=KIND_MEANS)
+        comm.send_to_server(2, np.zeros(4), kind=KIND_WEIGHTS)
+        comm.send_to_server(2, np.zeros(1))
+        total = sum(c["uplink_bytes"] for c in comm.stats.by_kind.values())
+        assert total == comm.stats.uplink_bytes == 56

@@ -18,6 +18,20 @@ class TestPayloadBytes:
         assert payload_bytes(3.5) == 8
         assert payload_bytes(7) == 8
 
+    def test_numpy_scalars(self):
+        assert payload_bytes(np.float64(3.5)) == 8
+        assert payload_bytes(np.int32(7)) == 8
+
+    def test_bool_scalars(self):
+        # np.bool_ is not a bool/int subclass; it used to raise TypeError.
+        assert payload_bytes(True) == 8
+        assert payload_bytes(np.bool_(True)) == 8
+
+    def test_complex_scalars(self):
+        # complex is not a float subclass; it used to raise TypeError.
+        assert payload_bytes(1 + 2j) == 16
+        assert payload_bytes(np.complex128(1j)) == 16
+
     def test_none_is_free(self):
         assert payload_bytes(None) == 0
 
