@@ -262,7 +262,7 @@ class ProjectIndex:
             if stmt is node or not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
             # only direct children (avoid double-indexing deeper nests)
-            if any(stmt in ast.walk(inner) for inner in fi.nested.values()):
+            if any(stmt in ast.walk(inner.node) for inner in fi.nested.values()):
                 continue
             inner = self._add_function(
                 stmt, module, ctx, qual=f"{qual}.<{stmt.name}>", cls=cls, parent=fi

@@ -38,6 +38,7 @@ from repro.autograd.tensor import (
     ones,
     randn,
 )
+from repro.autograd import backends  # noqa: F401  (kernel dispatch layer)
 from repro.autograd import ops_basic  # noqa: F401  (registers methods)
 from repro.autograd import ops_matmul  # noqa: F401
 from repro.autograd import ops_reduce  # noqa: F401
@@ -56,6 +57,12 @@ from repro.autograd.ops_nn import (
 )
 from repro.autograd.ops_reduce import sum as tsum, mean as tmean, frobenius_norm, l2_norm
 from repro.autograd.ops_shape import concat, stack, scatter_add
+from repro.autograd.backends import (
+    available_backends,
+    get_backend,
+    set_backend,
+    use_backend,
+)
 from repro.autograd.gradcheck import gradcheck
 
 __all__ = [
@@ -86,5 +93,9 @@ __all__ = [
     "concat",
     "stack",
     "scatter_add",
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "use_backend",
     "gradcheck",
 ]

@@ -1,0 +1,204 @@
+"""Kernel backend dispatch for the sparse propagation substrate.
+
+Every GCN/OrthoConv round is dominated by the S̃·(ZW) products of
+Eq. 7/9, so the raw sparse–dense kernel behind :func:`repro.autograd.spmm`
+is pluggable: a *backend* supplies the CSR × dense row-major product, and
+the :class:`~repro.graphs.csr.CSRMatrix` container routes both the
+forward product and the pre-transposed backward product through it.
+
+Two backends ship:
+
+``numpy`` (default, alias ``scipy``)
+    scipy.sparse's compiled CSR kernels on the container's cached scipy
+    view — zero per-call conversion, bitwise identical to the historical
+    code path (the golden-digest regression pins this).
+
+``numba``
+    A ``numba.njit(parallel=True)`` CSR kernel that accumulates each
+    output row in the same index order as scipy's ``csr_matvecs`` —
+    float64 addition order is preserved, so results stay bitwise
+    identical to the ``numpy`` backend (no ``fastmath`` reassociation).
+    Selecting it without numba installed raises with guidance; nothing
+    in the repo imports numba at module load.
+
+Selection: the ``REPRO_KERNEL_BACKEND`` environment variable is read
+once, lazily, on the first kernel call; :func:`set_backend` /
+:func:`use_backend` override it programmatically (tests, benchmarks).
+
+This module also owns the transpose-conversion counter: every reverse
+(Sᵀ) CSR materialization anywhere in the substrate reports here, which
+is how the regression suite asserts the "build the transpose once per
+graph" contract instead of trusting a comment (the pre-substrate
+``spmm`` claimed a cached transpose but rebuilt it per forward call).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+DEFAULT_BACKEND = "numpy"
+
+_lock = threading.Lock()
+_registry: Dict[str, Callable[[], "KernelBackend"]] = {}
+_aliases = {"scipy": "numpy"}
+_active: Optional["KernelBackend"] = None
+
+_transpose_conversions = 0
+
+
+def count_transpose_conversion() -> None:
+    """Record one materialized Sᵀ CSR (called by the substrate, not users)."""
+    global _transpose_conversions
+    with _lock:
+        _transpose_conversions += 1
+
+
+def transpose_conversion_count() -> int:
+    """How many reverse-CSR conversions have been built process-wide."""
+    with _lock:
+        return _transpose_conversions
+
+
+def reset_transpose_conversion_count() -> int:
+    """Zero the conversion counter; returns the previous value (tests)."""
+    global _transpose_conversions
+    with _lock:
+        prev = _transpose_conversions
+        _transpose_conversions = 0
+    return prev
+
+
+class KernelBackend:
+    """One SpMM implementation.
+
+    ``spmm`` receives any object with the CSR-container protocol
+    (``data`` / ``indices`` / ``indptr`` / ``shape`` / ``to_scipy()``)
+    and a C-contiguous float64 dense operand; it returns the dense
+    product.  Backends must keep per-row accumulation in ascending
+    stored-index order so every backend is bitwise interchangeable.
+    """
+
+    name = "base"
+
+    def spmm(self, op, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class NumpyBackend(KernelBackend):
+    """scipy.sparse compiled CSR kernels on the container's cached view."""
+
+    name = "numpy"
+
+    def spmm(self, op, x: np.ndarray) -> np.ndarray:
+        return op.to_scipy() @ x
+
+
+class NumbaBackend(KernelBackend):
+    """JIT-compiled CSR × dense kernel (parallel over output rows).
+
+    Rows are independent, and within a row the accumulation order is the
+    stored-index order — the same order scipy uses — so the parallel
+    schedule cannot change a single output bit.
+    """
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        try:
+            import numba
+        except ImportError as exc:  # pragma: no cover - env without numba
+            raise RuntimeError(
+                "the 'numba' kernel backend requires the numba package; "
+                "install it (pip install numba) or select the default "
+                f"'numpy' backend (unset {ENV_VAR})"
+            ) from exc
+
+        @numba.njit(parallel=True, cache=True)
+        def _spmm(indptr, indices, data, x, out):  # pragma: no cover - jitted
+            n_rows = indptr.shape[0] - 1
+            n_cols = x.shape[1]
+            for i in numba.prange(n_rows):
+                for jj in range(indptr[i], indptr[i + 1]):
+                    j = indices[jj]
+                    v = data[jj]
+                    for k in range(n_cols):
+                        out[i, k] += v * x[j, k]
+
+        self._kernel = _spmm
+
+    def spmm(self, op, x: np.ndarray) -> np.ndarray:
+        x = np.ascontiguousarray(x, dtype=np.float64)
+        out = np.zeros((op.shape[0], x.shape[1]), dtype=np.float64)
+        self._kernel(op.indptr, op.indices, op.data, x, out)
+        return out
+
+
+def register_backend(name: str, factory: Callable[[], KernelBackend]) -> None:
+    """Register a backend factory under ``name`` (built lazily on select)."""
+    with _lock:
+        _registry[name] = factory
+
+
+register_backend("numpy", NumpyBackend)
+register_backend("numba", NumbaBackend)
+
+
+def available_backends() -> tuple:
+    """Registered backend names (not all necessarily importable here)."""
+    with _lock:
+        return tuple(sorted(_registry))
+
+
+def _resolve(name: str) -> KernelBackend:
+    canonical = _aliases.get(name, name)
+    with _lock:
+        factory = _registry.get(canonical)
+    if factory is None:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; available: "
+            f"{', '.join(available_backends())}"
+        )
+    return factory()
+
+
+def get_backend() -> KernelBackend:
+    """The active backend, resolving ``REPRO_KERNEL_BACKEND`` on first use."""
+    global _active
+    backend = _active
+    if backend is None:
+        resolved = _resolve(os.environ.get(ENV_VAR, DEFAULT_BACKEND))
+        with _lock:
+            if _active is None:
+                _active = resolved
+            backend = _active
+    return backend
+
+
+def set_backend(name: Optional[str]) -> Optional[str]:
+    """Select the backend by name; returns the previously selected name.
+
+    ``None`` clears the selection so the next kernel call re-reads the
+    environment variable (the initial state).
+    """
+    global _active
+    resolved = _resolve(name) if name is not None else None
+    with _lock:
+        prev = _active.name if _active is not None else None
+        _active = resolved
+    return prev
+
+
+@contextlib.contextmanager
+def use_backend(name: str):
+    """Context manager pinning the backend for a ``with`` block (tests)."""
+    prev = set_backend(name)
+    try:
+        yield get_backend()
+    finally:
+        set_backend(prev)

@@ -1,9 +1,25 @@
 """Matrix products: dense ``matmul``, sparse-constant ``spmm``, transpose.
 
 ``spmm`` is the hot path of every GCN forward/backward: the normalized
-adjacency is a fixed ``scipy.sparse`` matrix, so only the dense operand
-needs a gradient, and the VJP is a single transposed sparse product
-(``S.T @ grad``) — O(nnz·d), never densified.
+adjacency is a fixed sparse matrix, so only the dense operand needs a
+gradient, and the VJP is a single transposed sparse product
+(``Sᵀ @ grad``) — O(nnz·d), never densified.
+
+Two sparse operand kinds are accepted:
+
+* :class:`~repro.graphs.csr.CSRMatrix` (the fused fast path) — the
+  container carries a pre-transposed reverse-CSR built once per graph,
+  and both products route through the pluggable kernel backend
+  (:mod:`repro.autograd.backends`).
+* raw ``scipy.sparse`` matrices (legacy/ad-hoc callers) — the reverse
+  CSR is built on first backward and cached *on the operand object*, so
+  repeated steps pay the O(nnz) transpose conversion exactly once.  (An
+  earlier version cached it in a per-call closure, which is no cache at
+  all: every forward built a fresh closure and every backward a fresh
+  transpose.)
+
+Sparse operands are constants; mutating one after it has been used in
+``spmm`` invalidates the cached reverse and is unsupported.
 """
 
 from __future__ import annotations
@@ -12,6 +28,8 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.autograd.tensor import Tensor, as_tensor
+
+_REV_ATTR = "_repro_rev_csr"
 
 
 def matmul(a, b) -> Tensor:
@@ -34,28 +52,69 @@ def matmul(a, b) -> Tensor:
     return Tensor._make(out_data, (a, b), backward, "matmul")
 
 
-def spmm(s: sp.spmatrix, x) -> Tensor:
+def _reverse_of(s: sp.spmatrix) -> sp.csr_matrix:
+    """``S.T`` in CSR, built once and cached on the operand object."""
+    rev = getattr(s, _REV_ATTR, None)
+    if rev is None:
+        from repro.autograd import backends
+
+        rev = s.T.tocsr()
+        backends.count_transpose_conversion()
+        try:
+            setattr(s, _REV_ATTR, rev)
+        except AttributeError:  # pragma: no cover - exotic sparse subclass
+            pass
+    return rev
+
+
+def spmm(s, x) -> Tensor:
     """Sparse-constant × dense product ``S @ X``.
 
-    ``S`` is treated as a constant (the graph's normalized adjacency);
-    the gradient w.r.t. ``X`` is ``Sᵀ @ G``.  ``S`` is converted to CSR
-    once by the caller (see :mod:`repro.graphs.laplacian`) so the products
-    here are the fast CSR kernels.
+    ``S`` — a :class:`~repro.graphs.csr.CSRMatrix` or ``scipy.sparse``
+    matrix — is treated as a constant (the graph's normalized
+    adjacency); the gradient w.r.t. ``X`` is ``Sᵀ @ G`` through the
+    pre-transposed reverse-CSR, never a fresh conversion per step.
+
+    Operands are validated up front: a shape mismatch raises a clear
+    ``ValueError`` instead of dying inside scipy internals, and
+    non-float64 sparse values are rejected rather than silently
+    promoting/demoting the output dtype.
     """
     x = as_tensor(x)
-    if not sp.issparse(s):
-        raise TypeError("spmm first operand must be a scipy.sparse matrix")
-    out_data = s @ x.data
-    # Cache the transpose in CSR: backward runs once per training step and
-    # building it per-call would double sparse conversion cost.
-    st = None
+    fused = getattr(s, "is_kernel_operator", False)
+    if not fused and not sp.issparse(s):
+        raise TypeError(
+            "spmm first operand must be a scipy.sparse matrix or CSRMatrix, "
+            f"got {type(s).__name__}"
+        )
+    if s.dtype != np.float64:
+        raise ValueError(
+            f"spmm requires a float64 sparse operand, got dtype {s.dtype}; "
+            "cast S once where it is constructed"
+        )
+    if x.ndim != 2:
+        raise ValueError(f"spmm dense operand must be 2-D, got shape {x.shape}")
+    if s.shape[1] != x.shape[0]:
+        raise ValueError(
+            f"spmm shape mismatch: S is {s.shape} but X is {x.shape} "
+            f"(S.shape[1] must equal X.shape[0])"
+        )
 
-    def backward(grad: np.ndarray) -> None:
-        nonlocal st
-        if x.requires_grad:
-            if st is None:
-                st = s.T.tocsr()
-            x._accumulate(st @ grad)
+    if fused:
+        out_data = s.matmul(x.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if x.requires_grad:
+                # s.rev is the pre-transposed reverse-CSR, built at most
+                # once per container (eagerly for Graph-owned operators).
+                x._accumulate(s.rev.matmul(grad))
+
+    else:
+        out_data = s @ x.data
+
+        def backward(grad: np.ndarray) -> None:
+            if x.requires_grad:
+                x._accumulate(_reverse_of(s) @ grad)
 
     return Tensor._make(out_data, (x,), backward, "spmm")
 
@@ -74,8 +133,12 @@ def transpose(a) -> Tensor:
     return Tensor._make(out_data, (a,), backward, "transpose")
 
 
+def _is_sparse_operand(other) -> bool:
+    return sp.issparse(other) or getattr(other, "is_kernel_operator", False)
+
+
 Tensor.__matmul__ = lambda self, other: matmul(self, other)
 Tensor.__rmatmul__ = lambda self, other: (
-    spmm(other, self) if sp.issparse(other) else matmul(other, self)
+    spmm(other, self) if _is_sparse_operand(other) else matmul(other, self)
 )
 Tensor.matmul = matmul

@@ -44,6 +44,7 @@ import scipy.sparse as sp
 from repro.autograd import Tensor, no_grad, relu
 from repro.federated.server import fedavg
 from repro.federated.trainer import FederatedTrainer, TrainerConfig
+from repro.graphs.csr import CSRMatrix, SparseOperand
 from repro.graphs.data import Graph
 from repro.graphs.laplacian import row_normalized_adjacency
 from repro.nn import Adam, Linear, mse_loss
@@ -60,13 +61,13 @@ class NeighGen(Module):
         self.deg_head = Linear(hidden, 1, rng=rng)
         self.feat_head = Linear(hidden, in_features, rng=rng)
 
-    def encode(self, mean_adj: sp.spmatrix, x: Tensor) -> Tensor:
+    def encode(self, mean_adj: SparseOperand, x: Tensor) -> Tensor:
         from repro.autograd import concat, spmm
 
         agg = spmm(mean_adj, x)
         return relu(self.enc(concat([x, agg], axis=1)))
 
-    def forward(self, mean_adj: sp.spmatrix, x: Tensor):
+    def forward(self, mean_adj: SparseOperand, x: Tensor):
         h = self.encode(mean_adj, x)
         missing_deg = relu(self.deg_head(h))  # non-negative counts
         feats = self.feat_head(h)
@@ -194,7 +195,10 @@ class FedSagePlusTrainer(FederatedTrainer):
             except ValueError:
                 visible, h_count, h_feat = g, np.zeros(g.num_nodes), np.zeros_like(g.x)
                 mean_adj = row_normalized_adjacency(g.adj)
-            data.append((visible, mean_adj, h_count, h_feat))
+            # One CSR container per party for the whole generator
+            # pre-training: the reverse-CSR for backward is built here,
+            # once, instead of per epoch inside spmm.
+            data.append((visible, CSRMatrix.from_scipy(mean_adj), h_count, h_feat))
 
         for epoch in range(self.gen_epochs):
             for gen, opt, (vis, mean_adj, h_count, h_feat) in zip(gens, opts, data):
@@ -215,7 +219,10 @@ class FedSagePlusTrainer(FederatedTrainer):
         mended = []
         for g, gen, (vis, mean_adj, _, _) in zip(parts, gens, data):
             gen.eval()
-            full_mean_adj = row_normalized_adjacency(g.adj)
+            # Forward-only (no_grad) single use: skip the reverse build.
+            full_mean_adj = CSRMatrix.from_scipy(
+                row_normalized_adjacency(g.adj), build_reverse=False
+            )
             with no_grad():
                 deg_pred, feat_pred = gen(full_mean_adj, Tensor(g.x))
             mended.append(

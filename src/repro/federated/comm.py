@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.obs import get_registry
 
@@ -47,11 +48,34 @@ def payload_bytes(payload: Any) -> int:
 
     Counts ndarray buffers plus scalars at 8 bytes; container overhead is
     ignored (constant-factor, implementation-specific).
+
+    Sparse matrices (``scipy.sparse`` or the kernel substrate's
+    :class:`~repro.graphs.csr.CSRMatrix`) are billed at their index
+    structure plus values — ``data + indices + indptr`` for CSR/CSC/BSR,
+    ``data + row + col`` for COO, ``data + offsets`` for DIA — exactly
+    the buffers a transport would serialize.  This is what
+    sampled-subgraph payloads (adjacency blocks) are metered by.
     """
     if payload is None:
         return 0
     if isinstance(payload, np.ndarray):
         return int(payload.nbytes)
+    if sp.issparse(payload):
+        if payload.format in ("csr", "csc", "bsr"):
+            return int(
+                payload.data.nbytes + payload.indices.nbytes + payload.indptr.nbytes
+            )
+        if payload.format == "coo":
+            return int(payload.data.nbytes + payload.row.nbytes + payload.col.nbytes)
+        if payload.format == "dia":
+            return int(payload.data.nbytes + payload.offsets.nbytes)
+        # lil/dok have no flat buffers; bill the canonical COO encoding.
+        return payload_bytes(payload.tocoo())
+    if getattr(payload, "is_kernel_operator", False):
+        # CSRMatrix: the reverse-CSR is derivable, only forward arrays move.
+        return int(
+            payload.data.nbytes + payload.indices.nbytes + payload.indptr.nbytes
+        )
     # np.bool_ is not a bool/int subclass (and complex is not float):
     # both used to fall through to the TypeError below.
     if isinstance(payload, (bool, np.bool_, int, float, np.integer, np.floating)):

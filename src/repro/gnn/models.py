@@ -9,8 +9,11 @@ Every model exposes two entry points:
   representations (MLP) return their post-activation hidden layers.
 
 Models receive the :class:`~repro.graphs.data.Graph` (not raw tensors)
-so each can pick its propagation operator: GCN/Ortho use ``graph.s_norm``,
-SAGE uses the row-normalized mean aggregator.
+so each can pick its propagation operator: GCN/Ortho use ``graph.s_op``
+(the cached fused-kernel CSR container of S̃), SAGE uses ``graph.mean_op``
+(the row-normalized mean aggregator).  The containers are built once per
+graph with a pre-transposed reverse-CSR, so propagation never pays a
+sparse conversion — forward or backward — after the first touch.
 """
 
 from __future__ import annotations
@@ -76,7 +79,7 @@ class GCN(Module):
         self._rng = gen
 
     def forward_with_hidden(self, graph: Graph) -> Tuple[Tensor, List[Tensor]]:
-        s = graph.s_norm
+        s = graph.s_op
         h = relu(self.conv1(s, Tensor(graph.x)))
         hid = [h]
         h = dropout(h, self.dropout_p, rng=self._rng, training=self.training)
@@ -110,7 +113,7 @@ class SGC(Module):
     def forward(self, graph: Graph) -> Tensor:
         h = Tensor(graph.x)
         for _ in range(self.k):
-            h = spmm(graph.s_norm, h)
+            h = spmm(graph.s_op, h)
         return self.fc(h)
 
     def forward_with_hidden(self, graph: Graph) -> Tuple[Tensor, List[Tensor]]:
@@ -136,10 +139,10 @@ class SAGE(Module):
         self._rng = gen
 
     def forward_with_hidden(self, graph: Graph) -> Tuple[Tensor, List[Tensor]]:
-        # The aggregator is cached on the graph itself (graph.mean_adj),
+        # The aggregator is cached on the graph itself (graph.mean_op),
         # not in a model-side id(graph) dict: ids recycle after GC, which
         # aliased a new graph to a dead graph's operator.
-        m = graph.mean_adj
+        m = graph.mean_op
         h = relu(self.conv1(m, Tensor(graph.x)))
         hid = [h]
         h = dropout(h, self.dropout_p, rng=self._rng, training=self.training)
@@ -186,7 +189,7 @@ class APPNP(Module):
         hid1 = relu(self.fc1(x))
         h = self.fc2(dropout(hid1, self.dropout_p, rng=self._rng, training=self.training))
         z = h
-        s = graph.s_norm
+        s = graph.s_op
         for _ in range(self.k):
             z = spmm(s, z) * (1.0 - self.teleport) + h * self.teleport
         return z, [hid1]
@@ -269,7 +272,7 @@ class OrthoGCN(Module):
         self._rng = gen
 
     def forward_with_hidden(self, graph: Graph) -> Tuple[Tensor, List[Tensor]]:
-        s = graph.s_norm
+        s = graph.s_op
         h = relu(self.conv_in(s, Tensor(graph.x)))
         hidden = [h]
         for layer in self.ortho_layers:

@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.autograd import Tensor, concat, matmul, spmm
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graphs.csr import SparseOperand
 from repro.nn import init as init_mod
 from repro.nn.module import Module, Parameter
 
@@ -38,7 +40,7 @@ class SAGEConv(Module):
         self.weight = Parameter(init_mod.xavier_uniform(2 * in_features, out_features, gen))
         self.bias = Parameter(init_mod.zeros(out_features)) if bias else None
 
-    def forward(self, mean_adj: sp.spmatrix, z: Tensor) -> Tensor:
+    def forward(self, mean_adj: "SparseOperand", z: Tensor) -> Tensor:
         agg = spmm(mean_adj, z)
         out = matmul(concat([z, agg], axis=1), self.weight)
         if self.bias is not None:

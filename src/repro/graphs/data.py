@@ -48,6 +48,8 @@ class Graph:
     _s_norm: Optional[sp.csr_matrix] = field(default=None, repr=False, compare=False)
     _mean_adj: Optional[sp.csr_matrix] = field(default=None, repr=False, compare=False)
     _edge_index: Optional[tuple] = field(default=None, repr=False, compare=False)
+    _s_op: Optional["CSRMatrix"] = field(default=None, repr=False, compare=False)
+    _mean_op: Optional["CSRMatrix"] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.x = np.asarray(self.x, dtype=np.float64)
@@ -110,6 +112,29 @@ class Graph:
         return self._mean_adj
 
     @property
+    def s_op(self) -> "CSRMatrix":
+        """Cached :class:`~repro.graphs.csr.CSRMatrix` of S̃ (the fused-kernel operator).
+
+        Built once per graph with its pre-transposed reverse-CSR, so no
+        forward or backward pass ever pays a sparse conversion again —
+        this is the operand GCN/Ortho layers propagate through.
+        """
+        if self._s_op is None:
+            from repro.graphs.csr import CSRMatrix
+
+            self._s_op = CSRMatrix.from_scipy(self.s_norm)
+        return self._s_op
+
+    @property
+    def mean_op(self) -> "CSRMatrix":
+        """Cached :class:`~repro.graphs.csr.CSRMatrix` of the mean aggregator."""
+        if self._mean_op is None:
+            from repro.graphs.csr import CSRMatrix
+
+            self._mean_op = CSRMatrix.from_scipy(self.mean_adj)
+        return self._mean_op
+
+    @property
     def edge_index(self) -> tuple:
         """Cached ``(src, dst)`` int64 arrays with self loops (GAT's edges)."""
         if self._edge_index is None:
@@ -128,9 +153,18 @@ class Graph:
         """Histogram of labels over all ``num_classes`` classes."""
         return np.bincount(self.y, minlength=self.num_classes)
 
-    def validate(self) -> None:
-        """Structural invariants: symmetry, zero diagonal, finite features."""
-        if (self.adj != self.adj.T).nnz != 0:
+    def validate(self, atol: float = 0.0) -> None:
+        """Structural invariants: symmetry, zero diagonal, finite features.
+
+        Symmetry is checked as ``max|A - Aᵀ| <= atol``: the subtraction
+        stays in the fast CSR kernels for every input format, unlike the
+        former ``(A != Aᵀ).nnz`` comparison which emitted scipy's
+        ``SparseEfficiencyWarning`` and densified intermediate results
+        for some formats.  ``atol`` admits float round-off in weighted
+        adjacencies; the default demands exact symmetry.
+        """
+        diff = (self.adj - self.adj.T).tocsr()
+        if diff.nnz and float(np.abs(diff.data).max()) > atol:
             raise ValueError("adjacency must be symmetric")
         if self.adj.diagonal().sum() != 0:
             raise ValueError("adjacency must have an empty diagonal")

@@ -12,9 +12,23 @@ import scipy.sparse as sp
 
 
 def add_self_loops(adj: sp.spmatrix) -> sp.csr_matrix:
-    """Return A + I in CSR form (idempotent on the diagonal values present)."""
-    n = adj.shape[0]
-    return (sp.csr_matrix(adj) + sp.identity(n, format="csr")).tocsr()
+    """Return Â = A + I in CSR form, idempotently.
+
+    Any diagonal entries already present in ``A`` are removed first, so
+    the result's diagonal is exactly 1 regardless of the input — a
+    plain ``A + I`` would double-count existing self loops, making
+    ``add_self_loops(add_self_loops(A)) != add_self_loops(A)`` despite
+    the old docstring's idempotence claim.
+    """
+    a = sp.csr_matrix(adj)
+    n = a.shape[0]
+    diag = a.diagonal()
+    if np.any(diag):
+        # Subtract the stored diagonal (cancels to explicit zeros in the
+        # CSR arithmetic, no structure-change warning), then prune.
+        a = (a - sp.diags(diag, offsets=0, format="csr")).tocsr()
+        a.eliminate_zeros()
+    return (a + sp.identity(n, format="csr")).tocsr()
 
 
 def normalized_adjacency(adj: sp.spmatrix) -> sp.csr_matrix:

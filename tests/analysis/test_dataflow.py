@@ -101,3 +101,34 @@ class TestTaintSemantics:
         report = _rl007(src)
         (v,) = report.violations
         assert "graph.adj" in v.message and "send_to_server" in v.message
+
+
+class TestIndexer:
+    def test_sibling_nested_functions_index_cleanly(self):
+        # The nested-def dedup used to walk a FunctionInfo instead of its
+        # AST node and crashed on the second sibling closure (the shape
+        # of the fused spmm's per-branch backward closures).
+        src = (
+            "def outer(flag):\n"
+            "    if flag:\n"
+            "        def backward(g):\n"
+            "            return g\n"
+            "    else:\n"
+            "        def backward(g):\n"
+            "            return -g\n"
+            "    return backward\n"
+        )
+        assert _rl007(src).ok
+
+    def test_doubly_nested_functions_index_cleanly(self):
+        src = (
+            "def outer():\n"
+            "    def mid():\n"
+            "        def inner():\n"
+            "            return 1\n"
+            "        return inner\n"
+            "    def other():\n"
+            "        return 2\n"
+            "    return mid, other\n"
+        )
+        assert _rl007(src).ok

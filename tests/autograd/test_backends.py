@@ -1,0 +1,138 @@
+"""Kernel backend dispatch: selection, equivalence, golden digests.
+
+The backend contract is strict bitwise interchangeability — every
+backend must accumulate each output row in stored-index order, so the
+``numpy`` (scipy) and ``numba`` kernels produce identical float64 bits
+and the training digests cannot depend on which backend is active.
+Numba legs self-skip when the package is absent (it is optional and
+never imported at module load).
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.autograd import backends, spmm
+from repro.autograd.backends import (
+    available_backends,
+    get_backend,
+    set_backend,
+    use_backend,
+)
+from repro.autograd.tensor import Tensor
+from repro.graphs.csr import CSRMatrix
+
+
+def _have_numba() -> bool:
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+needs_numba = pytest.mark.skipif(not _have_numba(), reason="numba not installed")
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    prev = set_backend(None)
+    yield
+    set_backend(prev)
+
+
+def _operand(n=40, density=0.15, seed=0):
+    return CSRMatrix.from_scipy(
+        sp.random(n, n, density=density, random_state=seed, format="csr")
+    )
+
+
+class TestSelection:
+    def test_default_is_numpy(self):
+        assert get_backend().name == "numpy"
+
+    def test_registry_lists_both(self):
+        names = available_backends()
+        assert "numpy" in names and "numba" in names
+
+    def test_scipy_alias(self):
+        with use_backend("scipy") as b:
+            assert b.name == "numpy"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            set_backend("cuda")
+
+    def test_env_var_resolution(self, monkeypatch):
+        monkeypatch.setenv(backends.ENV_VAR, "scipy")
+        set_backend(None)  # re-arm lazy env resolution
+        assert get_backend().name == "numpy"
+
+    def test_env_var_invalid_name_is_loud(self, monkeypatch):
+        monkeypatch.setenv(backends.ENV_VAR, "no-such-backend")
+        set_backend(None)
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            get_backend()
+
+    def test_use_backend_restores_previous(self):
+        set_backend("numpy")
+        with use_backend("scipy"):
+            pass
+        assert get_backend().name == "numpy"
+
+
+class TestNumpyBackend:
+    def test_matches_scipy_product_bitwise(self):
+        op = _operand()
+        x = np.random.default_rng(1).standard_normal((op.shape[1], 7))
+        assert np.array_equal(op.matmul(x), op.to_scipy() @ x)
+
+
+@needs_numba
+class TestNumbaBackend:
+    def test_forward_bitwise_identical_to_numpy(self):
+        op = _operand(n=120, density=0.1, seed=3)
+        x = np.random.default_rng(2).standard_normal((op.shape[1], 16))
+        with use_backend("numpy"):
+            ref = op.matmul(x)
+        with use_backend("numba"):
+            out = op.matmul(x)
+        assert np.array_equal(ref, out)
+
+    def test_backward_bitwise_identical_to_numpy(self):
+        op = _operand(n=80, density=0.12, seed=4)
+        g = np.random.default_rng(3).standard_normal((op.shape[0], 8))
+        with use_backend("numpy"):
+            ref = op.rev_matmul(g)
+        with use_backend("numba"):
+            out = op.rev_matmul(g)
+        assert np.array_equal(ref, out)
+
+    def test_spmm_training_step_identical(self):
+        op = _operand(n=50, density=0.2, seed=5)
+        x_data = np.random.default_rng(4).standard_normal((50, 6))
+        grads = {}
+        for name in ("numpy", "numba"):
+            with use_backend(name):
+                x = Tensor(x_data.copy(), requires_grad=True)
+                (spmm(op, x) ** 2).sum().backward()
+                grads[name] = x.grad
+        assert np.array_equal(grads["numpy"], grads["numba"])
+
+
+class TestGoldenDigestPerBackend:
+    """The pinned FedOMD trajectory must not depend on the kernel backend."""
+
+    @pytest.mark.parametrize(
+        "name",
+        ["numpy", pytest.param("numba", marks=needs_numba)],
+    )
+    def test_golden_digest(self, name):
+        from tests.federated.test_golden_history import (
+            GOLDEN_DIGEST,
+            digest,
+            golden_history,
+        )
+
+        with use_backend(name):
+            assert digest(golden_history()) == GOLDEN_DIGEST

@@ -179,6 +179,52 @@ class TestMatmul:
         y = s @ x.data  # sanity: scipy result
         np.testing.assert_allclose((s @ x.data), y)
 
+    def test_spmm_shape_mismatch_is_clear(self):
+        s = sp.identity(3, format="csr")
+        with pytest.raises(ValueError, match="shape mismatch"):
+            spmm(s, rand_t(4, 2))
+
+    def test_spmm_rejects_non_2d_dense(self):
+        s = sp.identity(3, format="csr")
+        with pytest.raises(ValueError, match="2-D"):
+            spmm(s, Tensor(np.ones(3), requires_grad=True))
+
+    def test_spmm_rejects_non_float64_sparse(self):
+        s = sp.identity(3, format="csr", dtype=np.float32)
+        with pytest.raises(ValueError, match="float64"):
+            spmm(s, rand_t(3, 2))
+
+    def test_spmm_csr_container_gradcheck(self):
+        from repro.graphs.csr import CSRMatrix
+
+        s = CSRMatrix.from_scipy(
+            sp.random(6, 6, density=0.4, random_state=7, format="csr")
+        )
+        x = rand_t(6, 3)
+        assert gradcheck(lambda t: (spmm(s, t) ** 2).sum(), [x])
+
+    def test_spmm_csr_container_matches_scipy_path_bitwise(self):
+        from repro.graphs.csr import CSRMatrix
+
+        s_sp = sp.random(8, 8, density=0.3, random_state=5, format="csr")
+        s = CSRMatrix.from_scipy(s_sp)
+        x1, x2 = rand_t(8, 4), rand_t(8, 4)
+        x2.data[...] = x1.data
+
+        out_sp = spmm(s_sp, x1)
+        out_csr = spmm(s, x2)
+        assert np.array_equal(out_sp.data, out_csr.data)
+        out_sp.sum().backward()
+        out_csr.sum().backward()
+        assert np.array_equal(x1.grad, x2.grad)
+
+    def test_spmm_csr_container_rmatmul(self):
+        from repro.graphs.csr import CSRMatrix
+
+        s = CSRMatrix.from_scipy(sp.identity(4, format="csr"))
+        x = rand_t(4, 2, requires_grad=False)
+        np.testing.assert_allclose((s @ x).data, x.data)
+
 
 class TestReductions:
     def test_sum_all(self):

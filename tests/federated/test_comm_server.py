@@ -2,9 +2,11 @@
 
 import numpy as np
 import pytest
+import scipy.sparse as sp
 
 from repro.federated import CommStats, Communicator, fedavg, payload_bytes, uniform_fedavg
 from repro.federated.server import weighted_mean_statistics
+from repro.graphs.csr import CSRMatrix
 
 
 class TestPayloadBytes:
@@ -45,6 +47,57 @@ class TestPayloadBytes:
     def test_unsupported_type(self):
         with pytest.raises(TypeError):
             payload_bytes(object())
+
+
+class TestPayloadBytesSparse:
+    """Sparse payloads used to fall through to the TypeError branch."""
+
+    @staticmethod
+    def _matrix():
+        return sp.random(10, 10, density=0.3, random_state=0, format="csr")
+
+    def test_csr_counts_index_structure(self):
+        m = self._matrix()
+        expected = m.data.nbytes + m.indices.nbytes + m.indptr.nbytes
+        assert payload_bytes(m) == expected
+
+    def test_csc(self):
+        m = self._matrix().tocsc()
+        expected = m.data.nbytes + m.indices.nbytes + m.indptr.nbytes
+        assert payload_bytes(m) == expected
+
+    def test_coo(self):
+        m = self._matrix().tocoo()
+        expected = m.data.nbytes + m.row.nbytes + m.col.nbytes
+        assert payload_bytes(m) == expected
+
+    def test_dia(self):
+        m = sp.diags([1.0, 2.0, 3.0], offsets=0, format="dia")
+        assert payload_bytes(m) == m.data.nbytes + m.offsets.nbytes
+
+    def test_lil_billed_as_coo(self):
+        m = self._matrix().tolil()
+        assert payload_bytes(m) == payload_bytes(m.tocoo())
+
+    def test_csr_container_bills_forward_arrays_only(self):
+        m = self._matrix()
+        c = CSRMatrix.from_scipy(m)  # reverse-CSR built eagerly...
+        # ...but derivable on the receiving side, so it never moves.
+        assert payload_bytes(c) == payload_bytes(m)
+
+    def test_nested_sparse_payload(self):
+        m = self._matrix()
+        p = {"adj": m, "ids": np.arange(4)}
+        assert payload_bytes(p) == payload_bytes(m) + 32
+
+    def test_metered_through_communicator_by_kind(self):
+        comm = Communicator(num_clients=2)
+        m = self._matrix()
+        comm.send_to_server(0, m, kind="subgraph")
+        cell = comm.stats.kind("subgraph")
+        assert cell["uplink_bytes"] == payload_bytes(m)
+        assert cell["uplink_messages"] == 1
+        assert comm.stats.uplink_bytes == payload_bytes(m)
 
 
 class TestCommunicator:

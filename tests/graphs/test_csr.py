@@ -1,0 +1,179 @@
+"""CSRMatrix container: construction, reverse caching, conversion metering.
+
+The headline regression here is the spmm transpose-cache bug: the old
+``spmm`` claimed to cache ``S.T.tocsr()`` for backward but the closure
+variable was fresh on every forward call, so every training step paid a
+full O(nnz) sparse conversion per layer.  These tests pin the fixed
+contract — *exactly one* transpose conversion per graph operator across
+an entire multi-round training run, on both the fused container path and
+the legacy raw-scipy path.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.autograd import Tensor, spmm
+from repro.autograd.backends import (
+    reset_transpose_conversion_count,
+    transpose_conversion_count,
+)
+from repro.graphs import CSRMatrix, Graph
+from repro.nn import Adam, cross_entropy
+
+
+def _random_csr(n=30, density=0.2, seed=0):
+    return sp.random(n, n, density=density, random_state=seed, format="csr")
+
+
+def _small_graph(n=24, classes=3, feats=6, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, n, 3 * n)
+    cols = rng.integers(0, n, 3 * n)
+    keep = rows != cols
+    a = sp.coo_matrix(
+        (np.ones(keep.sum()), (rows[keep], cols[keep])), shape=(n, n)
+    ).tocsr()
+    a = a + a.T
+    a.data[:] = 1.0
+    return Graph(
+        x=rng.standard_normal((n, feats)),
+        adj=a,
+        y=rng.integers(0, classes, n),
+        num_classes=classes,
+        train_mask=np.ones(n, dtype=bool),
+    )
+
+
+class TestConstruction:
+    def test_from_scipy_shares_values(self):
+        m = _random_csr()
+        c = CSRMatrix.from_scipy(m)
+        assert c.shape == m.shape and c.nnz == m.nnz
+        assert c.data is m.data  # no copy for CSR input
+        np.testing.assert_array_equal(c.toarray(), m.toarray())
+
+    def test_from_scipy_accepts_other_formats(self):
+        m = _random_csr().tocoo()
+        c = CSRMatrix.from_scipy(m)
+        np.testing.assert_array_equal(c.toarray(), m.toarray())
+
+    def test_rejects_dense(self):
+        with pytest.raises(TypeError):
+            CSRMatrix.from_scipy(np.eye(3))
+
+    def test_rejects_non_float64(self):
+        with pytest.raises(ValueError, match="float64"):
+            CSRMatrix.from_scipy(sp.identity(3, format="csr", dtype=np.float32))
+
+    def test_to_scipy_roundtrip_is_cached_view(self):
+        c = CSRMatrix.from_scipy(_random_csr())
+        assert c.to_scipy() is c.to_scipy()
+
+    def test_deepcopy_is_independent(self):
+        c = CSRMatrix.from_scipy(_random_csr())
+        c2 = copy.deepcopy(c)
+        assert c2.data is not c.data
+        np.testing.assert_array_equal(c2.toarray(), c.toarray())
+
+
+class TestReverse:
+    def test_rev_is_bitwise_transpose(self):
+        m = _random_csr(seed=3)
+        c = CSRMatrix.from_scipy(m)
+        ref = m.T.tocsr()
+        assert np.array_equal(c.rev.data, ref.data)
+        assert np.array_equal(c.rev.indices, ref.indices)
+        assert np.array_equal(c.rev.indptr, ref.indptr)
+
+    def test_rev_of_rev_is_original(self):
+        c = CSRMatrix.from_scipy(_random_csr())
+        assert c.rev.rev is c
+
+    def test_eager_reverse_counts_one_conversion(self):
+        m = _random_csr()
+        reset_transpose_conversion_count()
+        c = CSRMatrix.from_scipy(m)
+        assert transpose_conversion_count() == 1
+        # Repeated access never converts again.
+        for _ in range(5):
+            _ = c.rev
+            _ = c.T
+        assert transpose_conversion_count() == 1
+
+    def test_lazy_reverse_skipped_for_forward_only(self):
+        m = _random_csr()
+        reset_transpose_conversion_count()
+        c = CSRMatrix.from_scipy(m, build_reverse=False)
+        c.matmul(np.ones((m.shape[1], 2)))
+        assert transpose_conversion_count() == 0
+        _ = c.rev
+        assert transpose_conversion_count() == 1
+
+    def test_matmul_and_rev_matmul_match_scipy(self):
+        m = _random_csr(seed=5)
+        c = CSRMatrix.from_scipy(m)
+        x = np.random.default_rng(0).standard_normal((m.shape[1], 4))
+        g = np.random.default_rng(1).standard_normal((m.shape[0], 4))
+        assert np.array_equal(c.matmul(x), m @ x)
+        assert np.array_equal(c.rev_matmul(g), m.T.tocsr() @ g)
+
+
+class TestTransposeCacheRegression:
+    """Exactly one transpose conversion per graph across a multi-round run."""
+
+    def _train(self, model_name, graph, steps=6):
+        from repro.gnn import GCN, SAGE
+
+        cls = {"gcn": GCN, "sage": SAGE}[model_name]
+        model = cls(
+            graph.num_features,
+            graph.num_classes,
+            hidden=8,
+            rng=np.random.default_rng(0),
+        )
+        opt = Adam(model.parameters(), lr=0.01)
+        for _ in range(steps):
+            opt.zero_grad()
+            cross_entropy(model(graph), graph.y, graph.train_mask).backward()
+            opt.step()
+
+    def test_gcn_multi_round_converts_once(self):
+        graph = _small_graph()
+        reset_transpose_conversion_count()
+        self._train("gcn", graph)
+        # One conversion for graph.s_op's reverse-CSR — not one per
+        # layer per forward call as the pre-substrate spmm paid.
+        assert transpose_conversion_count() == 1
+
+    def test_sage_multi_round_converts_once(self):
+        graph = _small_graph(seed=1)
+        reset_transpose_conversion_count()
+        self._train("sage", graph)
+        assert transpose_conversion_count() == 1
+
+    def test_two_operators_convert_twice(self):
+        graph = _small_graph(seed=2)
+        reset_transpose_conversion_count()
+        self._train("gcn", graph)
+        self._train("sage", graph)
+        assert transpose_conversion_count() == 2
+
+    def test_legacy_scipy_path_converts_once(self):
+        # Raw scipy operands (no CSRMatrix) cache the reverse on the
+        # operand object: many forward/backward rounds, one conversion.
+        s = _random_csr(seed=9)
+        reset_transpose_conversion_count()
+        for _ in range(7):
+            x = Tensor(np.random.default_rng(0).standard_normal((30, 3)), requires_grad=True)
+            (spmm(s, x) ** 2).sum().backward()
+            assert x.grad is not None
+        assert transpose_conversion_count() == 1
+
+    def test_fresh_graphs_convert_independently(self):
+        reset_transpose_conversion_count()
+        for seed in range(3):
+            self._train("gcn", _small_graph(seed=seed), steps=2)
+        assert transpose_conversion_count() == 3

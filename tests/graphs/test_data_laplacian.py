@@ -1,5 +1,7 @@
 """Tests for the Graph container and normalized propagation operators."""
 
+import warnings
+
 import numpy as np
 import pytest
 import scipy.sparse as sp
@@ -72,6 +74,43 @@ class TestGraphContainer:
 
     def test_validate_passes_clean(self):
         tiny_graph().validate()
+
+    def test_validate_is_warning_free(self):
+        # The old `(adj != adj.T).nnz` check tripped scipy's
+        # SparseEfficiencyWarning; validate must survive `-W error`.
+        g = tiny_graph(12, seed=4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            g.validate()
+
+    def test_validate_asymmetry_detected_warning_free(self):
+        adj = sp.csr_matrix(np.array([[0, 1], [0, 0]], dtype=float))
+        g = Graph(x=np.zeros((2, 2)), adj=adj, y=np.zeros(2, dtype=int), num_classes=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with pytest.raises(ValueError, match="symmetric"):
+                g.validate()
+
+    def test_validate_tolerance_admits_float_noise(self):
+        base = tiny_graph(8, seed=2).adj.astype(float)
+        noisy = base.copy()
+        noisy.data = noisy.data + np.linspace(0, 1e-13, noisy.data.size)
+        g = Graph(
+            x=np.zeros((8, 2)), adj=noisy, y=np.zeros(8, dtype=int), num_classes=1
+        )
+        with pytest.raises(ValueError):
+            g.validate()  # exact symmetry demanded by default
+        g.validate(atol=1e-9)  # explicit tolerance admits the noise
+
+    def test_s_op_cached_container(self):
+        g = tiny_graph()
+        assert g.s_op is g.s_op
+        np.testing.assert_array_equal(g.s_op.toarray(), g.s_norm.toarray())
+
+    def test_mean_op_cached_container(self):
+        g = tiny_graph()
+        assert g.mean_op is g.mean_op
+        np.testing.assert_array_equal(g.mean_op.toarray(), g.mean_adj.toarray())
 
     def test_degrees(self):
         g = tiny_graph()
