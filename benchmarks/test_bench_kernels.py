@@ -28,6 +28,7 @@ from repro.gnn import GCN, SAGE, OrthoGCN
 from repro.graphs import Graph
 from repro.graphs.csr import CSRMatrix
 from repro.nn import Adam, cross_entropy
+from repro.obs.bench import record as record_bench
 
 SCALE = os.environ.get("REPRO_BENCH_KERNELS_SCALE", "full")
 SIZES = {"smoke": [2000], "full": [2000, 8000, 30000]}[SCALE]
@@ -166,20 +167,18 @@ def test_bench_kernel_substrate():
         f"{speedup['cached_reverse_s'] * 1e3:.2f} ms -> {speedup['speedup']}x"
     )
 
+    payload = {
+        "scale": SCALE,
+        "backends": backends_run,
+        "avg_degree": AVG_DEGREE,
+        "hidden": HIDDEN,
+        "model_matrix": matrix,
+        "backward_transpose_cache": speedup,
+    }
     with open("BENCH_kernels.json", "w") as f:
-        json.dump(
-            {
-                "scale": SCALE,
-                "backends": backends_run,
-                "avg_degree": AVG_DEGREE,
-                "hidden": HIDDEN,
-                "model_matrix": matrix,
-                "backward_transpose_cache": speedup,
-            },
-            f,
-            indent=2,
-        )
+        json.dump(payload, f, indent=2)
         f.write("\n")
+    record_bench("kernels", payload, scale=SCALE)
     assert os.path.exists("BENCH_kernels.json")
 
     assert matrix, "no usable kernel backend benched"

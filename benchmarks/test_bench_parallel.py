@@ -32,6 +32,7 @@ from repro.experiments.configs import (
     BENCH_PARALLEL_WORKERS,
 )
 from repro.graphs import load_dataset, louvain_partition
+from repro.obs.bench import record as record_bench
 from repro.reporting import write_csv
 
 
@@ -87,6 +88,16 @@ def test_bench_parallel_speedup(sbm_parts):
                 ]
             )
     rows.append(["speedup", "", f"{speedup:.4f}", "", "", "", ""])
+    record_bench(
+        "parallel",
+        {
+            "serial_s": round(t_serial, 6),
+            "parallel_s": round(t_parallel, 6),
+            "speedup": round(speedup, 4),
+        },
+        parties=len(sbm_parts),
+        workers=BENCH_PARALLEL_WORKERS,
+    )
     write_csv(
         os.path.join("results", "bench", "parallel_speedup.csv"),
         ["mode", "round", "wall_time", "exchange_time", "train_time", "agg_time", "eval_time"],

@@ -41,6 +41,8 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from repro.obs.metrics import Counter, get_registry
+
 ENV_VAR = "REPRO_KERNEL_BACKEND"
 DEFAULT_BACKEND = "numpy"
 
@@ -49,28 +51,39 @@ _registry: Dict[str, Callable[[], "KernelBackend"]] = {}
 _aliases = {"scipy": "numpy"}
 _active: Optional["KernelBackend"] = None
 
-_transpose_conversions = 0
+# The transpose-conversion meter is a real (always-on, lock-guarded)
+# metrics Counter rather than a bare int: when a telemetry session is
+# live the count also mirrors into its registry, so the JSONL trace
+# carries it alongside the csr-cache metrics.  Resets never touch the
+# monotonic instrument — they move the subtraction base, which keeps the
+# test-facing `reset/count` semantics of the old int without a second
+# source of truth.
+_transpose_conversions = Counter("kernel.transpose_conversions")
+_reset_base = 0  # guarded-by(_lock)
 
 
 def count_transpose_conversion() -> None:
     """Record one materialized Sᵀ CSR (called by the substrate, not users)."""
-    global _transpose_conversions
-    with _lock:
-        _transpose_conversions += 1
+    _transpose_conversions.inc()
+    reg = get_registry()
+    if reg.enabled:
+        reg.counter("kernel.transpose_conversions").inc()
 
 
 def transpose_conversion_count() -> int:
-    """How many reverse-CSR conversions have been built process-wide."""
+    """Reverse-CSR conversions built process-wide since the last reset."""
+    total = int(_transpose_conversions.value)
     with _lock:
-        return _transpose_conversions
+        return total - _reset_base
 
 
 def reset_transpose_conversion_count() -> int:
-    """Zero the conversion counter; returns the previous value (tests)."""
-    global _transpose_conversions
+    """Rebase the conversion counter; returns the count since last reset."""
+    global _reset_base
+    total = int(_transpose_conversions.value)
     with _lock:
-        prev = _transpose_conversions
-        _transpose_conversions = 0
+        prev = total - _reset_base
+        _reset_base = total
     return prev
 
 

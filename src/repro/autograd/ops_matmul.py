@@ -28,6 +28,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.autograd.tensor import Tensor, as_tensor
+from repro.obs import cost as _cost
 
 _REV_ATTR = "_repro_rev_csr"
 
@@ -100,21 +101,41 @@ def spmm(s, x) -> Tensor:
             f"(S.shape[1] must equal X.shape[0])"
         )
 
+    # spmm reports its own cost (EXPLICIT_OPS): the generic shape hook
+    # only sees the dense parent, not nnz or the kernel backend.
     if fused:
         out_data = s.matmul(x.data)
+        cc = _cost._collector
+        if cc is not None:
+            from repro.autograd import backends
+
+            cc.spmm_op("fwd", s.nnz, x.data, out_data, backends.get_backend().name)
 
         def backward(grad: np.ndarray) -> None:
             if x.requires_grad:
                 # s.rev is the pre-transposed reverse-CSR, built at most
                 # once per container (eagerly for Graph-owned operators).
-                x._accumulate(s.rev.matmul(grad))
+                dx = s.rev.matmul(grad)
+                cc = _cost._collector
+                if cc is not None:
+                    from repro.autograd import backends
+
+                    cc.spmm_op("bwd", s.nnz, grad, dx, backends.get_backend().name)
+                x._accumulate(dx)
 
     else:
         out_data = s @ x.data
+        cc = _cost._collector
+        if cc is not None:
+            cc.spmm_op("fwd", s.nnz, x.data, out_data, "scipy")
 
         def backward(grad: np.ndarray) -> None:
             if x.requires_grad:
-                x._accumulate(_reverse_of(s) @ grad)
+                dx = _reverse_of(s) @ grad
+                cc = _cost._collector
+                if cc is not None:
+                    cc.spmm_op("bwd", s.nnz, grad, dx, "scipy")
+                x._accumulate(dx)
 
     return Tensor._make(out_data, (x,), backward, "spmm")
 

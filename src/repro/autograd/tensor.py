@@ -16,6 +16,7 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.obs import cost as _cost
 from repro.obs.metrics import get_registry as _get_metrics
 
 _DEFAULT_DTYPE = np.float64
@@ -137,6 +138,11 @@ class Tensor:
             out = Tensor(data, requires_grad=False)
         if _sanitizer is not None:
             _sanitizer.after_op(out, parents, op, track)
+        # Cost model hook: same zero-cost-when-off contract as the
+        # sanitizer (one attribute load + `is None` test per op).
+        cc = _cost._collector
+        if cc is not None:
+            cc.forward_op(op, data, parents)
         return out
 
     # ------------------------------------------------------------------
@@ -240,10 +246,13 @@ class Tensor:
 
         self._accumulate(grad)
         san = _sanitizer
+        cc = _cost._collector
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
                 if san is not None:
                     san.before_backward(node)
+                if cc is not None:
+                    cc.backward_op(node)
                 node._backward(node.grad)
                 if san is not None:
                     san.after_backward(node)

@@ -48,6 +48,13 @@ def main(argv=None) -> int:
         metavar="PATH",
         help="write a JSONL telemetry trace of the run to PATH",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the run: exact FLOP/byte cost model, flamegraph folded "
+        "stacks (<out>/profile.folded), per-phase memory high-water; prints "
+        "the run report on exit (composes with --telemetry for the trace)",
+    )
     chaos = parser.add_argument_group(
         "chaos", "fault injection + checkpoint/resume (chaos experiment only)"
     )
@@ -125,7 +132,24 @@ def main(argv=None) -> int:
                 f"{', '.join(used)} only apply to the 'chaos' experiment"
             )
 
-    if args.telemetry:
+    if args.profile:
+        import os
+
+        from repro.obs import ProfileSession
+
+        session = ProfileSession(
+            jsonl_path=args.telemetry,
+            folded_path=os.path.join(out_dir, "profile.folded"),
+            experiment=args.experiment,
+            mode=args.mode,
+        )
+        with session:
+            _run_experiments(names, args.mode, out_dir, extra)
+        print(session.report())
+        print(f"\n[profile] flamegraph folded stacks → {session.folded_path}")
+        if args.telemetry:
+            print(f"[profile] JSONL trace → {args.telemetry}")
+    elif args.telemetry:
         from repro.obs import TelemetrySession
 
         session = TelemetrySession(

@@ -123,6 +123,10 @@ class ClientExecutor:
             wait_hist.observe(wait)
             wait_gauge.set(wait)
             tags = attrs(item) if attrs is not None else {}
+            # Carry the submitting phase onto the task span so the cost
+            # model attributes worker-thread ops to the right phase.
+            if "phase" not in tags and parent is not None and "phase" in parent.attrs:
+                tags["phase"] = parent.attrs["phase"]
             with tracer.span(span, parent=parent, **tags):
                 return fn(item)
 

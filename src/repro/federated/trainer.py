@@ -393,17 +393,17 @@ class FederatedTrainer:
         tracer = get_tracer()
         for round_idx in range(self._start_round, cfg.max_rounds):
             with tracer.span("round", round=round_idx) as sp_round:
-                with tracer.span("exchange", round=round_idx) as sp_exchange:
+                with tracer.span("exchange", round=round_idx, phase="exchange") as sp_exchange:
                     self._sample_participants()
                     if self.injector is not None:
                         self.injector.begin_round(round_idx, len(self.clients))
                     self.begin_round(round_idx)
 
-                with tracer.span("train", round=round_idx) as sp_train:
+                with tracer.span("train", round=round_idx, phase="train") as sp_train:
                     losses = self._train_participants()
                     self.after_local_training(round_idx)
 
-                with tracer.span("aggregate", round=round_idx) as sp_agg:
+                with tracer.span("aggregate", round=round_idx, phase="aggregate") as sp_agg:
                     global_state = self.aggregate()
                     if global_state is not None:
                         broadcast = self.comm.broadcast(global_state, kind=KIND_WEIGHTS)
@@ -412,7 +412,7 @@ class FederatedTrainer:
                     self.comm.end_round()
 
                 if round_idx % cfg.eval_every == 0:
-                    with tracer.span("eval", round=round_idx) as sp_eval:
+                    with tracer.span("eval", round=round_idx, phase="eval") as sp_eval:
                         val_acc = self.evaluate("val")
                         test_acc = self.evaluate("test")
                     finite = [l for l in losses if np.isfinite(l)]

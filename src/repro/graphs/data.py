@@ -16,6 +16,15 @@ from typing import Optional
 import numpy as np
 import scipy.sparse as sp
 
+from repro.obs.metrics import get_registry as _get_metrics
+
+
+def _meter_csr_cache(op: str, hit: bool) -> None:
+    """Count kernel-operator cache outcomes when telemetry is live."""
+    reg = _get_metrics()
+    if reg.enabled:
+        reg.counter("kernel.csr_cache", op=op, result="hit" if hit else "miss").inc()
+
 
 @dataclass
 class Graph:
@@ -119,6 +128,7 @@ class Graph:
         forward or backward pass ever pays a sparse conversion again —
         this is the operand GCN/Ortho layers propagate through.
         """
+        _meter_csr_cache("s_op", hit=self._s_op is not None)
         if self._s_op is None:
             from repro.graphs.csr import CSRMatrix
 
@@ -128,6 +138,7 @@ class Graph:
     @property
     def mean_op(self) -> "CSRMatrix":
         """Cached :class:`~repro.graphs.csr.CSRMatrix` of the mean aggregator."""
+        _meter_csr_cache("mean_op", hit=self._mean_op is not None)
         if self._mean_op is None:
             from repro.graphs.csr import CSRMatrix
 

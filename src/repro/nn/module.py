@@ -16,6 +16,7 @@ from typing import Dict, Iterator, List, Tuple
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+from repro.obs import cost as _cost
 from repro.obs.metrics import get_registry
 
 
@@ -47,11 +48,13 @@ class Module:
             self._params[name] = value
         elif isinstance(value, Module):
             self._modules[name] = value
+            object.__setattr__(value, "_obs_name", name)
         object.__setattr__(self, name, value)
 
     def add_module(self, name: str, module: "Module") -> "Module":
         """Register a dynamically-created submodule (e.g. layer lists)."""
         self._modules[name] = module
+        object.__setattr__(module, "_obs_name", name)
         object.__setattr__(self, name, module)
         return module
 
@@ -126,4 +129,12 @@ class Module:
         reg = get_registry()
         if reg.enabled:
             reg.counter("nn.forward_calls", module=type(self).__name__).inc()
-        return self.forward(*args, **kwargs)
+        cc = _cost._collector
+        if cc is None:
+            return self.forward(*args, **kwargs)
+        # Attribute ops run inside this module to its registered name
+        # (`layers.0`, `classifier`), falling back to the class name for
+        # root modules nobody registered.
+        label = getattr(self, "_obs_name", None) or type(self).__name__
+        with cc.layer(label):
+            return self.forward(*args, **kwargs)

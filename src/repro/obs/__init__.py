@@ -80,6 +80,21 @@ __all__ = [
     "validate_events",
     "write_jsonl",
     "TelemetrySession",
+    # cost model (repro.obs.cost)
+    "CostCollector",
+    "collecting",
+    "get_collector",
+    "layer_scope",
+    "matmul_flops",
+    "set_collector",
+    "spmm_bytes",
+    "spmm_flops",
+    # profiler (repro.obs.profile)
+    "MemoryProfiler",
+    "ProfileSession",
+    "folded_stacks",
+    "top_frames",
+    "write_folded",
 ]
 
 
@@ -130,9 +145,14 @@ class TelemetrySession:
 
     # -- output -----------------------------------------------------------
     def events(self) -> List[Dict[str, object]]:
-        """Meta event + every recorded span + final metric values."""
+        """Meta event + every span (open ones marked) + final metrics."""
         meta = {"type": "meta", "schema": SCHEMA_VERSION, "attrs": dict(self.meta)}
-        return [meta] + self.tracer.events() + self.registry.events()
+        return (
+            [meta]
+            + self.tracer.events()
+            + self.tracer.open_span_events()
+            + self.registry.events()
+        )
 
     def save(self, path: Optional[str] = None) -> int:
         """Write the JSONL trace; returns the number of events written."""
@@ -140,3 +160,24 @@ class TelemetrySession:
         if target is None:
             raise ValueError("no jsonl_path given at construction or save()")
         return write_jsonl(target, self.events())
+
+
+# The profiling layer imports TelemetrySession back from this package,
+# so it must be pulled in only after the class exists.
+from repro.obs.cost import (  # noqa: E402
+    CostCollector,
+    collecting,
+    get_collector,
+    layer_scope,
+    matmul_flops,
+    set_collector,
+    spmm_bytes,
+    spmm_flops,
+)
+from repro.obs.profile import (  # noqa: E402
+    MemoryProfiler,
+    ProfileSession,
+    folded_stacks,
+    top_frames,
+    write_folded,
+)

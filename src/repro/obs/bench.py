@@ -1,0 +1,339 @@
+"""Bench trajectory store + regression gate.
+
+The ``BENCH_*.json`` files at the repo root are one-shot snapshots: each
+bench run overwrites the last, so there is no history to difference and
+no gate to fail when a change slows the hot path down.  This module adds
+both:
+
+* **History**: :func:`record` appends one schema-versioned entry per
+  bench run to ``results/bench_history.jsonl`` — the same payload the
+  ``BENCH_*.json`` snapshot holds, plus the bench name and a wall-clock
+  stamp — so a machine (or a CI artifact trail) accumulates a perf
+  trajectory instead of a single point.
+* **Gate**: :func:`check` flattens a committed baseline and a current
+  measurement to dotted numeric leaves and compares every *directional*
+  metric: keys ending in ``_s`` or ``_ratio`` are lower-is-better, keys
+  ending in ``speedup`` are higher-is-better, everything else is
+  context and ignored.  A current value beyond ``tol`` on the wrong side
+  of its baseline is a regression; the CLI exits nonzero, which is what
+  makes it a CI gate::
+
+      python -m repro.obs.bench check --baseline BENCH_kernels.json --tol 0.15
+
+  The current side comes from ``--current`` (another JSON file) or, by
+  default, the latest matching entry in the history.
+
+Tiny baselines are runner noise, not signal: ``--min-base`` (seconds /
+ratio units) skips comparisons whose baseline is below the floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+BENCH_SCHEMA = "repro.bench/v1"
+DEFAULT_HISTORY = os.path.join("results", "bench_history.jsonl")
+
+#: (suffix, direction) — matched against the last dotted-path segment.
+_DIRECTIONS: Tuple[Tuple[str, str], ...] = (
+    ("speedup", "higher"),
+    ("_s", "lower"),
+    ("_ratio", "lower"),
+)
+
+
+def metric_direction(key: str) -> Optional[str]:
+    """``"lower"`` / ``"higher"`` is-better for a metric key, else ``None``."""
+    leaf = key.rsplit(".", 1)[-1]
+    for suffix, direction in _DIRECTIONS:
+        if leaf.endswith(suffix):
+            return direction
+    return None
+
+
+def flatten_metrics(obj, prefix: str = "") -> Dict[str, float]:
+    """Numeric leaves of a JSON tree as ``dotted.path → float``.
+
+    Lists index numerically (``model_matrix.0.step_s``); booleans and
+    strings are context, not metrics, and are dropped.
+    """
+    flat: Dict[str, float] = {}
+    if isinstance(obj, dict):
+        for key in sorted(obj):
+            flat.update(flatten_metrics(obj[key], f"{prefix}{key}."))
+    elif isinstance(obj, (list, tuple)):
+        for i, item in enumerate(obj):
+            flat.update(flatten_metrics(item, f"{prefix}{i}."))
+    elif isinstance(obj, bool):
+        pass
+    elif isinstance(obj, (int, float)):
+        flat[prefix[:-1]] = float(obj)
+    return flat
+
+
+# ----------------------------------------------------------------------
+# history
+# ----------------------------------------------------------------------
+def record(
+    bench: str,
+    metrics: dict,
+    history_path: str = DEFAULT_HISTORY,
+    **context,
+) -> dict:
+    """Append one bench entry to the JSONL history; returns the entry."""
+    entry = {
+        "schema": BENCH_SCHEMA,
+        "bench": bench,
+        # Wall clock as run metadata (when was this trajectory point
+        # taken), not a timing measurement — nothing is differenced
+        # against it.  # repro-lint: disable=RL003
+        "recorded_at": time.time(),
+        "metrics": metrics,
+    }
+    if context:
+        entry["context"] = context
+    parent = os.path.dirname(history_path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(history_path, "a", encoding="utf-8") as f:
+        f.write(json.dumps(entry, default=_json_default))
+        f.write("\n")
+    return entry
+
+
+def read_history(history_path: str = DEFAULT_HISTORY) -> List[dict]:
+    """All history entries, oldest first (blank lines skipped)."""
+    entries = []
+    with open(history_path, "r", encoding="utf-8") as f:
+        for i, line in enumerate(f):
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            if entry.get("schema") != BENCH_SCHEMA:
+                raise ValueError(
+                    f"{history_path}:{i + 1}: schema {entry.get('schema')!r} "
+                    f"!= {BENCH_SCHEMA!r}"
+                )
+            entries.append(entry)
+    return entries
+
+
+def latest_entry(bench: str, history_path: str = DEFAULT_HISTORY) -> Optional[dict]:
+    """Most recent history entry for ``bench`` (``None`` when absent)."""
+    entries = [e for e in read_history(history_path) if e.get("bench") == bench]
+    return entries[-1] if entries else None
+
+
+def bench_name_from_path(path: str) -> str:
+    """``BENCH_kernels.json`` → ``kernels`` (the snapshot naming scheme)."""
+    stem = os.path.splitext(os.path.basename(path))[0]
+    if stem.startswith("BENCH_"):
+        stem = stem[len("BENCH_"):]
+    return stem.lower()
+
+
+# ----------------------------------------------------------------------
+# gate
+# ----------------------------------------------------------------------
+def compare(
+    baseline: dict,
+    current: dict,
+    tol: float,
+    min_base: float = 0.0,
+    keys: Optional[str] = None,
+) -> Tuple[List[dict], int]:
+    """Regressions of ``current`` against ``baseline``.
+
+    Returns ``(regressions, compared)``: one record per directional
+    metric that moved beyond ``tol`` the wrong way, and how many metrics
+    were actually compared (shared, directional, above ``min_base``,
+    matching the ``keys`` glob when given).
+    """
+    base_flat = flatten_metrics(baseline)
+    cur_flat = flatten_metrics(current)
+    regressions: List[dict] = []
+    compared = 0
+    for key in sorted(base_flat):
+        if key not in cur_flat:
+            continue
+        if keys is not None and not fnmatch.fnmatch(key, keys):
+            continue
+        direction = metric_direction(key)
+        if direction is None:
+            continue
+        base, cur = base_flat[key], cur_flat[key]
+        if base <= min_base:
+            continue
+        compared += 1
+        if direction == "lower":
+            bad = cur > base * (1.0 + tol)
+        else:
+            bad = cur < base * (1.0 - tol)
+        if bad:
+            regressions.append(
+                {
+                    "key": key,
+                    "baseline": base,
+                    "current": cur,
+                    "change": cur / base - 1.0,
+                    "direction": direction,
+                }
+            )
+    return regressions, compared
+
+
+def check(
+    baseline_path: str,
+    current_path: Optional[str] = None,
+    history_path: str = DEFAULT_HISTORY,
+    bench: Optional[str] = None,
+    tol: float = 0.15,
+    min_base: float = 0.0,
+    keys: Optional[str] = None,
+    out=None,
+) -> int:
+    """The ``check`` subcommand; returns the process exit code.
+
+    ``0`` — every compared metric within tolerance; ``1`` — at least one
+    regression; ``2`` — nothing comparable (missing files, no matching
+    history entry, or zero shared directional metrics).
+    """
+    out = out if out is not None else sys.stdout
+    with open(baseline_path, "r", encoding="utf-8") as f:
+        baseline = json.load(f)
+    name = bench or bench_name_from_path(baseline_path)
+
+    if current_path is not None:
+        with open(current_path, "r", encoding="utf-8") as f:
+            current = json.load(f)
+        source = current_path
+    else:
+        if not os.path.exists(history_path):
+            print(f"bench check: no history at {history_path}", file=out)
+            return 2
+        entry = latest_entry(name, history_path)
+        if entry is None:
+            print(f"bench check: no history entry for bench {name!r}", file=out)
+            return 2
+        current = entry["metrics"]
+        source = f"{history_path} (latest {name!r} entry)"
+
+    regressions, compared = compare(
+        baseline, current, tol=tol, min_base=min_base, keys=keys
+    )
+    if compared == 0:
+        print(
+            f"bench check: no comparable metrics between {baseline_path} "
+            f"and {source}",
+            file=out,
+        )
+        return 2
+    for r in regressions:
+        arrow = "slower" if r["direction"] == "lower" else "lost speedup"
+        print(
+            f"REGRESSION {r['key']}: {r['baseline']:.6g} -> {r['current']:.6g} "
+            f"({r['change']:+.1%}, {arrow}, tol {tol:.0%})",
+            file=out,
+        )
+    verdict = "FAIL" if regressions else "ok"
+    print(
+        f"bench check [{name}]: {compared} metrics vs {baseline_path}, "
+        f"{len(regressions)} regression(s) at tol {tol:.0%} -> {verdict}",
+        file=out,
+    )
+    return 1 if regressions else 0
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.obs.bench",
+        description="Bench trajectory store and regression gate.",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    c = sub.add_parser("check", help="compare a run against a committed baseline")
+    c.add_argument("--baseline", required=True, help="committed BENCH_*.json snapshot")
+    c.add_argument(
+        "--current",
+        default=None,
+        help="JSON file to compare (default: latest matching history entry)",
+    )
+    c.add_argument("--history", default=DEFAULT_HISTORY)
+    c.add_argument(
+        "--bench", default=None, help="bench name (default: derived from --baseline)"
+    )
+    c.add_argument("--tol", type=float, default=0.15, help="relative tolerance")
+    c.add_argument(
+        "--min-base",
+        type=float,
+        default=0.0,
+        help="skip metrics whose baseline is at or below this floor (noise)",
+    )
+    c.add_argument(
+        "--keys", default=None, help="glob over dotted metric paths (e.g. '*ratio')"
+    )
+
+    a = sub.add_parser("append", help="append a BENCH_*.json snapshot to the history")
+    a.add_argument("--file", required=True, help="BENCH_*.json snapshot to append")
+    a.add_argument(
+        "--bench", default=None, help="bench name (default: derived from --file)"
+    )
+    a.add_argument("--history", default=DEFAULT_HISTORY)
+
+    ls = sub.add_parser("list", help="print the history, one line per entry")
+    ls.add_argument("--history", default=DEFAULT_HISTORY)
+    ls.add_argument("--bench", default=None, help="filter by bench name")
+    return p
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "check":
+        return check(
+            args.baseline,
+            current_path=args.current,
+            history_path=args.history,
+            bench=args.bench,
+            tol=args.tol,
+            min_base=args.min_base,
+            keys=args.keys,
+        )
+    if args.command == "append":
+        with open(args.file, "r", encoding="utf-8") as f:
+            metrics = json.load(f)
+        name = args.bench or bench_name_from_path(args.file)
+        record(name, metrics, history_path=args.history, source=args.file)
+        print(f"appended {name!r} ({args.file}) -> {args.history}")
+        return 0
+    if args.command == "list":
+        if not os.path.exists(args.history):
+            print(f"no history at {args.history}")
+            return 2
+        entries = read_history(args.history)
+        if args.bench:
+            entries = [e for e in entries if e.get("bench") == args.bench]
+        for e in entries:
+            n = len(flatten_metrics(e.get("metrics", {})))
+            print(f"{e.get('recorded_at', 0):.0f} {e.get('bench')}: {n} metrics")
+        return 0
+    return 2  # pragma: no cover - argparse enforces the subcommands
+
+
+def _json_default(obj):
+    if hasattr(obj, "item"):
+        return obj.item()
+    return str(obj)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,265 @@
+"""Deterministic cost model: exact FLOP and byte accounting per op.
+
+Wall time tells you *that* a phase is slow; it cannot tell you whether
+the phase is compute-bound, memory-bound, or just mis-cached — and it is
+not comparable across machines, which is what a committed bench
+trajectory needs.  This module gives every autograd op a closed-form
+cost: floating-point operations and bytes moved, computed from operand
+shapes alone.  Counts are **exact by construction** (a pure function of
+the op sequence and shapes, never sampled), so tests assert them against
+hand-computed values and a profiled run on machine A is comparable to
+one on machine B.
+
+Cost formulas (``d``-column dense operands, ``nnz``-entry sparse):
+
+=================  ==========================  ===========================
+op                 forward FLOPs               backward FLOPs (per parent
+                                               that requires grad)
+=================  ==========================  ===========================
+``matmul``         ``2·m·k·n``                 ``2·m·k·n``
+``spmm``           ``2·nnz·d``                 ``2·nnz·d``
+elementwise        ``out.size``                ``out.size``
+reductions         ``parent.size``             ``out-broadcast = p.size``
+``*softmax``       ``4·out.size``              ``3·out.size``
+shape/index ops    ``0``                       ``0``
+=================  ==========================  ===========================
+
+Bytes moved are the operand + result footprints: forward reads every
+parent and writes the output; backward reads the output gradient and
+writes one gradient per grad-requiring parent.  ``spmm`` charges
+``12·nnz`` for the sparse operand (8-byte value + 4-byte column index
+per stored entry) in both directions.
+
+Attribution: each recorded cost lands in tag-keyed registry counters
+``cost.flops`` / ``cost.bytes`` with the dimensions the profiler reports
+over — ``op``, ``dir`` (``fwd``/``bwd``), ``phase`` and ``client`` read
+from the active trace span, ``layer`` from the innermost
+:meth:`CostCollector.layer` scope (entered by ``nn.Module.__call__``),
+and ``backend`` (spmm only: the active kernel backend).
+
+The collector is ``None`` by default — the hot paths in
+:mod:`repro.autograd.tensor` and :mod:`repro.autograd.ops_matmul` pay a
+single ``is None`` test per op, the same zero-cost-when-off contract as
+the sanitizer hook — and is installed by
+:class:`repro.obs.profile.ProfileSession`.  Recording only ever *reads*
+shapes and the span stack, so profiled histories stay bitwise identical
+to unprofiled ones.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+_FLOAT_BYTES = 8  # float64 substrate
+#: Per-stored-entry footprint of a CSR operand: 8-byte value + 4-byte
+#: column index (scipy's default index dtype).  ``indptr`` is O(rows)
+#: and excluded so the formula depends on ``nnz`` alone.
+SPARSE_ENTRY_BYTES = 12
+
+#: Ops that report their own cost at the op site (they need operand
+#: metadata — nnz, backend — the generic shape-based hook cannot see).
+EXPLICIT_OPS = frozenset({"spmm"})
+
+#: Pure data-movement ops: zero FLOPs in both directions.
+_ZERO_FLOP_OPS = frozenset(
+    {"reshape", "transpose", "getitem", "concat", "stack", "neg", "dropout"}
+)
+
+#: Reductions: forward cost is the *input* size (the elements consumed).
+_REDUCE_OPS = frozenset({"sum", "mean", "max"})
+
+#: Softmax family: max-subtract, exp, sum, divide → 4 passes forward;
+#: backward is the three-pass Jacobian-vector product.
+_SOFTMAX_OPS = frozenset({"softmax", "log_softmax"})
+
+
+def matmul_flops(m: int, k: int, n: int) -> int:
+    """FLOPs of one ``(m, k) @ (k, n)`` dense product: ``2·m·k·n``."""
+    return 2 * m * k * n
+
+
+def spmm_flops(nnz: int, d: int) -> int:
+    """FLOPs of one ``S @ X`` sparse product: ``2·nnz·d`` (mul + add)."""
+    return 2 * nnz * d
+
+
+def spmm_bytes(nnz: int, dense_bytes: int, out_bytes: int) -> int:
+    """Bytes moved by one SpMM: sparse entries + dense read + out write."""
+    return SPARSE_ENTRY_BYTES * nnz + dense_bytes + out_bytes
+
+
+def _forward_flops(op: str, out_data, parent_datas: Tuple) -> int:
+    if op == "matmul":
+        a, b = parent_datas
+        return matmul_flops(a.shape[0], a.shape[1], b.shape[1])
+    if op in _ZERO_FLOP_OPS:
+        return 0
+    if op in _REDUCE_OPS:
+        return sum(int(p.size) for p in parent_datas)
+    if op in _SOFTMAX_OPS:
+        return 4 * int(out_data.size)
+    # Elementwise default (add, mul, relu, exp, …): one FLOP per output.
+    return int(out_data.size)
+
+
+def _backward_flops(op: str, out_data, grad_parents: Tuple) -> int:
+    # ``matmul`` is handled by the caller (it needs both parents' shapes,
+    # not just the grad-requiring ones).
+    if op in _ZERO_FLOP_OPS:
+        return 0
+    if op in _SOFTMAX_OPS:
+        return 3 * int(out_data.size) * len(grad_parents)
+    # Reductions broadcast the gradient back over the input; elementwise
+    # ops do one multiply per input element.  Both are p.size per parent.
+    return sum(int(p.data.size) for p in grad_parents)
+
+
+class CostCollector:
+    """Accumulates exact op costs into tag-keyed registry counters.
+
+    Thread-safety: the per-tag counter cache is guarded by ``_lock``;
+    the :class:`~repro.obs.metrics.Counter` instruments it hands out are
+    themselves lock-guarded, so worker threads record concurrently.
+    """
+
+    def __init__(self, registry: MetricsRegistry, tracer: Tracer) -> None:
+        self.registry = registry
+        self.tracer = tracer
+        self._lock = threading.Lock()
+        self._cache: Dict[tuple, tuple] = {}
+        self._local = threading.local()
+
+    # -- attribution -------------------------------------------------------
+    def _layer(self) -> str:
+        stack = getattr(self._local, "layers", None)
+        return stack[-1] if stack else "-"
+
+    @contextlib.contextmanager
+    def layer(self, name: str):
+        """Scope ops to a named layer (entered by ``Module.__call__``)."""
+        stack = getattr(self._local, "layers", None)
+        if stack is None:
+            stack = self._local.layers = []
+        stack.append(name)  # guarded-by(thread-local via self._local)
+        try:
+            yield
+        finally:
+            stack.pop()  # guarded-by(thread-local via self._local)
+
+    def _span_tags(self) -> Tuple[str, str]:
+        """(phase, client) of the active span — ``-`` when unattributed."""
+        span = self.tracer.current()
+        if span is None:
+            return "-", "-"
+        attrs = span.attrs
+        phase = str(attrs.get("phase", span.name))
+        client = str(attrs.get("client", "-"))
+        return phase, client
+
+    # -- recording ---------------------------------------------------------
+    def _counters(self, op: str, direction: str, backend: str):
+        phase, client = self._span_tags()
+        key = (op, direction, phase, client, self._layer(), backend)
+        with self._lock:
+            pair = self._cache.get(key)
+            if pair is None:
+                tags = dict(
+                    op=key[0], dir=key[1], phase=key[2], client=key[3], layer=key[4]
+                )
+                if backend != "-":
+                    tags["backend"] = backend
+                pair = (
+                    self.registry.counter("cost.flops", **tags),
+                    self.registry.counter("cost.bytes", **tags),
+                )
+                self._cache[key] = pair
+        return pair
+
+    def record(
+        self, op: str, direction: str, flops: int, bytes_moved: int, backend: str = "-"
+    ) -> None:
+        """Accumulate one op's cost under the active attribution tags."""
+        flops_c, bytes_c = self._counters(op, direction, backend)
+        flops_c.inc(int(flops))
+        bytes_c.inc(int(bytes_moved))
+
+    def forward_op(self, op: str, out_data, parents: Tuple) -> None:
+        """Generic shape-based forward cost (called from ``Tensor._make``)."""
+        if op in EXPLICIT_OPS or not op:
+            return
+        parent_datas = tuple(p.data for p in parents)
+        flops = _forward_flops(op, out_data, parent_datas)
+        moved = int(out_data.nbytes) + sum(int(p.nbytes) for p in parent_datas)
+        self.record(op, "fwd", flops, moved)
+
+    def backward_op(self, node) -> None:
+        """Generic backward cost for one graph node (``Tensor.backward``)."""
+        op = node._op
+        if op in EXPLICIT_OPS or not op:
+            return
+        grad_parents = tuple(p for p in node._parents if p.requires_grad)
+        if not grad_parents:
+            return
+        if op == "matmul":
+            a, b = node._parents
+            flops = matmul_flops(a.data.shape[0], a.data.shape[1], b.data.shape[1])
+            flops *= len(grad_parents)
+        else:
+            flops = _backward_flops(op, node.data, grad_parents)
+        moved = int(node.data.nbytes) + sum(int(p.data.nbytes) for p in grad_parents)
+        self.record(op, "bwd", flops, moved)
+
+    def spmm_op(self, direction: str, nnz: int, dense, out, backend: str) -> None:
+        """Exact SpMM cost (called from the ``spmm`` op site, fwd and bwd)."""
+        self.record(
+            "spmm",
+            direction,
+            spmm_flops(int(nnz), int(dense.shape[1])),
+            spmm_bytes(int(nnz), int(dense.nbytes), int(out.nbytes)),
+            backend=backend,
+        )
+
+
+# The process-local collector.  Hot paths read the module global
+# directly (one attribute load + `is None` test per op); everything else
+# goes through get/set below.
+_collector: Optional[CostCollector] = None
+_collector_lock = threading.Lock()
+
+
+def get_collector() -> Optional[CostCollector]:
+    """The installed cost collector, or ``None`` (profiling off)."""
+    return _collector
+
+
+def set_collector(collector: Optional[CostCollector]) -> Optional[CostCollector]:
+    """Install ``collector`` as the process default; returns the old one."""
+    global _collector
+    with _collector_lock:
+        old = _collector
+        _collector = collector
+    return old
+
+
+@contextlib.contextmanager
+def collecting(registry: MetricsRegistry, tracer: Tracer):
+    """Install a fresh collector for a ``with`` block (tests, sessions)."""
+    collector = CostCollector(registry, tracer)
+    prev = set_collector(collector)
+    try:
+        yield collector
+    finally:
+        set_collector(prev)
+
+
+def layer_scope(name: str):
+    """Layer scope on the active collector (no-op context when off)."""
+    collector = _collector
+    if collector is None:
+        return contextlib.nullcontext()
+    return collector.layer(name)

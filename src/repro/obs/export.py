@@ -22,6 +22,20 @@ emission order.  Three event types (the ``type`` field):
     ``value`` for counters/gauges, ``count``/``sum``/``min``/``max``/
     ``quantiles`` for histograms.
 
+``profile`` (v2)
+    One collapsed-stack profile: ``folded`` maps semicolon-joined span
+    paths (``round;train;client.local_train``) to non-negative self-time
+    values — the flamegraph input the profiler also writes to
+    ``results/profile.folded``.
+
+v2 additions (``repro.obs/v2``; v1 traces still validate):
+
+* the ``profile`` event type above;
+* *open spans*: a span entered but never exited exports with
+  ``"open": true`` and ``"t_end": null`` — its ``dur`` is the elapsed
+  time **at export**, explicitly partial rather than silently missing
+  (see :meth:`repro.obs.trace.Tracer.open_span_events`).
+
 :func:`validate_events` is the contract the CI telemetry smoke and the
 report renderer rely on; it raises ``ValueError`` with the offending
 line index on any malformed event.
@@ -32,9 +46,11 @@ from __future__ import annotations
 import json
 from typing import Dict, Iterable, List
 
-SCHEMA_VERSION = "repro.obs/v1"
+SCHEMA_VERSION = "repro.obs/v2"
+#: Schemas :func:`validate_event` accepts (v2 is a superset of v1).
+COMPATIBLE_SCHEMAS = ("repro.obs/v1", "repro.obs/v2")
 
-_EVENT_TYPES = ("meta", "span", "metric")
+_EVENT_TYPES = ("meta", "span", "metric", "profile")
 _METRIC_KINDS = ("counter", "gauge", "histogram")
 
 
@@ -47,8 +63,10 @@ def validate_event(event: Dict[str, object]) -> None:
         raise ValueError(f"unknown event type {etype!r} (expected one of {_EVENT_TYPES})")
 
     if etype == "meta":
-        if event.get("schema") != SCHEMA_VERSION:
-            raise ValueError(f"meta event schema {event.get('schema')!r} != {SCHEMA_VERSION!r}")
+        if event.get("schema") not in COMPATIBLE_SCHEMAS:
+            raise ValueError(
+                f"meta event schema {event.get('schema')!r} not in {COMPATIBLE_SCHEMAS}"
+            )
         if not isinstance(event.get("attrs", {}), dict):
             raise ValueError("meta attrs must be an object")
         return
@@ -62,14 +80,32 @@ def validate_event(event: Dict[str, object]) -> None:
         pid = event.get("parent_id")
         if pid is not None and not isinstance(pid, int):
             raise ValueError(f"parent_id must be int or null, got {pid!r}")
+        is_open = bool(event.get("open", False))
         for f in ("t_start", "t_end", "dur"):
             v = event.get(f)
+            if f == "t_end" and is_open:
+                if v is not None:
+                    raise ValueError("open span must have t_end null")
+                continue
             if not isinstance(v, (int, float)):
                 raise ValueError(f"span field {f!r} must be a number, got {v!r}")
-        if event["t_end"] < event["t_start"]:
+        if not is_open and event["t_end"] < event["t_start"]:
             raise ValueError("span ends before it starts")
         if not isinstance(event.get("attrs", {}), dict):
             raise ValueError("span attrs must be an object")
+        return
+
+    if etype == "profile":
+        folded = event.get("folded")
+        if not isinstance(folded, dict):
+            raise ValueError("profile event needs a folded object")
+        for stack, value in folded.items():
+            if not isinstance(stack, str) or not stack:
+                raise ValueError("folded stack keys must be non-empty strings")
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(
+                    f"folded value for {stack!r} must be a non-negative number"
+                )
         return
 
     # metric

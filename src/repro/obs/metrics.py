@@ -195,9 +195,19 @@ class StreamingHistogram:
                 est.observe(x)
 
     def quantile(self, q: float) -> float:
+        """Estimate of quantile ``q``; ``nan`` when nothing was observed.
+
+        The empty case is defined *here*, not left to the P² estimator's
+        internal state: an untouched histogram answers ``nan`` for every
+        tracked quantile (matching :attr:`min`/:attr:`max`/:attr:`mean`),
+        and its :meth:`dump` emits ``null`` quantiles so the JSONL export
+        never carries non-standard ``NaN`` literals.
+        """
         with self._lock:
             if q not in self._estimators:
                 raise KeyError(f"quantile {q} not tracked (tracked: {self.quantiles})")
+            if self._count == 0:
+                return float("nan")
             return self._estimators[q].estimate()
 
     @property
@@ -217,11 +227,13 @@ class StreamingHistogram:
 
     @property
     def min(self) -> float:
+        """Smallest observation; ``nan`` when nothing was observed."""
         with self._lock:
             return self._min if self._count else float("nan")
 
     @property
     def max(self) -> float:
+        """Largest observation; ``nan`` when nothing was observed."""
         with self._lock:
             return self._max if self._count else float("nan")
 
@@ -233,7 +245,8 @@ class StreamingHistogram:
                 "min": self._min if self._count else None,
                 "max": self._max if self._count else None,
                 "quantiles": {
-                    str(q): est.estimate() for q, est in self._estimators.items()
+                    str(q): (est.estimate() if self._count else None)
+                    for q, est in self._estimators.items()
                 },
             }
 

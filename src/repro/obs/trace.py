@@ -79,6 +79,8 @@ class Tracer:
         self._lock = threading.Lock()
         self._next_id = 1
         self._events: List[Dict[str, object]] = []
+        self._open: Dict[int, Span] = {}
+        self._listeners: List[object] = []
         self._local = threading.local()
 
     # -- span lifecycle ---------------------------------------------------
@@ -102,6 +104,12 @@ class Tracer:
         if stack is None:
             stack = self._local.stack = []
         stack.append(span)
+        with self._lock:
+            self._open[span.span_id] = span
+            listeners = list(self._listeners) if self._listeners else None
+        if listeners:
+            for listener in listeners:
+                listener.on_span_open(span)
 
     def _pop(self, span: Span) -> None:
         stack = getattr(self._local, "stack", None)
@@ -122,12 +130,62 @@ class Tracer:
         }
         with self._lock:
             self._events.append(event)
+            self._open.pop(span.span_id, None)
+            listeners = list(self._listeners) if self._listeners else None
+        if listeners:
+            for listener in listeners:
+                listener.on_span_close(span)
+
+    # -- listeners --------------------------------------------------------
+    def add_listener(self, listener: object) -> None:
+        """Register an object with ``on_span_open(span)`` / ``on_span_close(span)``.
+
+        Listeners fire outside the tracer lock (they may read the
+        registry or tracemalloc); the memory profiler is the consumer.
+        """
+        with self._lock:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: object) -> None:
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
 
     # -- event access -----------------------------------------------------
     def events(self) -> List[Dict[str, object]]:
         """Snapshot of recorded span events (completion order)."""
         with self._lock:
             return list(self._events)
+
+    def open_spans(self) -> List[Span]:
+        """Spans entered but not yet exited, in id (creation) order."""
+        with self._lock:
+            return [self._open[sid] for sid in sorted(self._open)]
+
+    def open_span_events(self) -> List[Dict[str, object]]:
+        """Span events for never-closed spans, with explicit semantics.
+
+        A span that never exited has no end: its event carries
+        ``"open": true``, ``"t_end": null``, and ``dur`` equal to
+        :attr:`Span.duration` *at export time* (elapsed so far) — the
+        export makes the open-endedness explicit rather than leaving the
+        span silently absent from the trace.
+        """
+        return [
+            {
+                "type": "span",
+                "name": span.name,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "t_start": span.t_start - self.t0,
+                "t_end": None,
+                "dur": span.duration,
+                "open": True,
+                "thread": threading.current_thread().name,
+                "attrs": dict(span.attrs),
+            }
+            for span in self.open_spans()
+        ]
 
     def __len__(self) -> int:
         with self._lock:

@@ -199,8 +199,96 @@ def queue_wait_summary(events: Sequence[dict]) -> str:
         return ""
     h = hists[0]
     q = h.get("quantiles", {})
-    parts = ", ".join(f"p{float(k) * 100:g}={v:.6f}s" for k, v in sorted(q.items()))
+    # An untouched histogram dumps null quantiles (see StreamingHistogram).
+    parts = ", ".join(
+        f"p{float(k) * 100:g}={v:.6f}s" if v is not None else f"p{float(k) * 100:g}=-"
+        for k, v in sorted(q.items())
+    )
     return f"executor queue wait: n={h.get('count')} {parts}"
+
+
+def cost_summary(events: Sequence[dict]) -> str:
+    """Per-phase FLOPs, bytes, and arithmetic intensity from the cost model."""
+    flop_evs = metrics(events, "cost.flops")
+    if not flop_evs:
+        return ""
+    flops: Dict[str, float] = defaultdict(float)
+    byts: Dict[str, float] = defaultdict(float)
+    for e in flop_evs:
+        flops[e.get("tags", {}).get("phase", "-")] += e["value"]
+    for e in metrics(events, "cost.bytes"):
+        byts[e.get("tags", {}).get("phase", "-")] += e["value"]
+    rows = []
+    for phase in sorted(flops, key=flops.get, reverse=True):
+        f, b = flops[phase], byts.get(phase, 0.0)
+        rows.append(
+            [phase, f"{int(f):,}", f"{int(b):,}", f"{f / b:.3f}" if b else "-"]
+        )
+    tf, tb = sum(flops.values()), sum(byts.values())
+    rows.append(["total", f"{int(tf):,}", f"{int(tb):,}", f"{tf / tb:.3f}" if tb else "-"])
+    return ascii_table(
+        ["phase", "flops", "bytes", "flops/byte"],
+        rows,
+        title="== cost model (per phase) ==",
+    )
+
+
+def backend_attribution(events: Sequence[dict]) -> str:
+    """SpMM FLOPs split by kernel backend and direction."""
+    evs = [e for e in metrics(events, "cost.flops") if e.get("tags", {}).get("backend")]
+    if not evs:
+        return ""
+    table: Dict[str, Dict[str, float]] = defaultdict(lambda: defaultdict(float))
+    for e in evs:
+        tags = e["tags"]
+        table[str(tags["backend"])][str(tags.get("dir", "-"))] += e["value"]
+    rows = []
+    for backend in sorted(table):
+        t = table[backend]
+        rows.append(
+            [
+                backend,
+                f"{int(t.get('fwd', 0)):,}",
+                f"{int(t.get('bwd', 0)):,}",
+                f"{int(sum(t.values())):,}",
+            ]
+        )
+    return ascii_table(
+        ["backend", "fwd_flops", "bwd_flops", "total_flops"],
+        rows,
+        title="== spmm backend attribution ==",
+    )
+
+
+def memory_summary(events: Sequence[dict]) -> str:
+    """Per-phase allocation high-water marks (``--profile`` with memory on)."""
+    gauges = metrics(events, "profile.mem_peak_bytes")
+    if not gauges:
+        return ""
+    rows = [
+        [
+            str(e.get("tags", {}).get("phase", "-")),
+            f"{int(e['value']):,}",
+            f"{e['value'] / 2**20:.2f}",
+        ]
+        for e in sorted(gauges, key=lambda e: -e["value"])
+    ]
+    return ascii_table(
+        ["phase", "peak_bytes", "peak_MiB"], rows, title="== memory high-water =="
+    )
+
+
+def top_frames_section(events: Sequence[dict], k: int = 10) -> str:
+    """The hottest flamegraph frames by self time."""
+    from repro.obs.profile import top_frames
+
+    frames = top_frames(events, k=k)
+    if not frames:
+        return ""
+    rows = [[path, f"{self_s:.4f}"] for path, self_s in frames]
+    return ascii_table(
+        ["frame (stack path)", "self_s"], rows, title=f"== top {len(rows)} frames =="
+    )
 
 
 def render_run_report(events: Sequence[dict]) -> str:
@@ -216,9 +304,15 @@ def render_run_report(events: Sequence[dict]) -> str:
         client_heat_table(events),
         comm_breakdown(events),
     ]
-    qw = queue_wait_summary(events)
-    if qw:
-        sections.append(qw)
+    for optional in (
+        cost_summary(events),
+        backend_attribution(events),
+        memory_summary(events),
+        top_frames_section(events),
+        queue_wait_summary(events),
+    ):
+        if optional:
+            sections.append(optional)
     return "\n\n".join(sections)
 
 

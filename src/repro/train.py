@@ -10,6 +10,8 @@ per-round convergence curve; saves the final global model as npz.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
 
 import numpy as np
@@ -44,6 +46,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="arm runtime sanitizers (autograd tripwires, lock probes; see repro.analysis)",
     )
+    p.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL telemetry trace of the run to PATH",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the run: exact FLOP/byte cost model, flamegraph folded "
+        "stacks, per-phase memory high-water; prints the run report on exit",
+    )
+    p.add_argument(
+        "--profile-dir",
+        default="results",
+        metavar="DIR",
+        help="directory for --profile outputs (profile.folded; default results/)",
+    )
     p.add_argument("--curve", action="store_true", help="print the convergence sparkline")
     p.add_argument("--save-model", default=None, help="write the final global model (npz)")
     p.add_argument("--verbose", action="store_true")
@@ -54,7 +74,26 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     timer = Timer()
 
-    with timer("run"):
+    session = None
+    if args.profile:
+        from repro.obs import ProfileSession
+
+        folded = os.path.join(args.profile_dir, "profile.folded")
+        session = ProfileSession(
+            jsonl_path=args.telemetry,
+            folded_path=folded,
+            model=args.model,
+            dataset=args.dataset,
+            seed=args.seed,
+        )
+    elif args.telemetry:
+        from repro.obs import TelemetrySession
+
+        session = TelemetrySession(
+            args.telemetry, model=args.model, dataset=args.dataset, seed=args.seed
+        )
+
+    with session if session is not None else contextlib.nullcontext(), timer("run"):
         graph = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
         resolution = (
             args.resolution if args.resolution is not None else paper_resolution(args.dataset)
@@ -110,6 +149,14 @@ def main(argv=None) -> int:
         }
         path = save_checkpoint(trainer.clients[0].model, args.save_model, meta)
         print(f"saved global model → {path}")
+    if args.profile:
+        print()
+        print(session.report())
+        print(f"\n[profile] flamegraph folded stacks → {session.folded_path}")
+        if args.telemetry:
+            print(f"[profile] JSONL trace → {args.telemetry}")
+    elif args.telemetry:
+        print(f"[telemetry] {len(session.events())} events → {args.telemetry}")
     return 0
 
 

@@ -1,0 +1,170 @@
+"""Bench history store + regression gate (repro.obs.bench)."""
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    bench_name_from_path,
+    check,
+    compare,
+    flatten_metrics,
+    latest_entry,
+    main,
+    metric_direction,
+    read_history,
+    record,
+)
+
+
+class TestFlatten:
+    def test_nested_dotted_paths(self):
+        flat = flatten_metrics(
+            {"a": {"step_s": 1.5, "rows": [{"x_s": 2}, {"note": "text"}]}}
+        )
+        assert flat == {"a.step_s": 1.5, "a.rows.0.x_s": 2.0}
+
+    def test_booleans_and_strings_dropped(self):
+        assert flatten_metrics({"ok": True, "name": "cora", "n": 3}) == {"n": 3.0}
+
+
+class TestDirections:
+    @pytest.mark.parametrize(
+        "key,expected",
+        [
+            ("overhead_ratio", "lower"),
+            ("model_matrix.0.step_s", "lower"),
+            ("backward_transpose_cache.speedup", "higher"),
+            ("nodes", None),
+            ("count", None),
+        ],
+    )
+    def test_suffix_rules(self, key, expected):
+        assert metric_direction(key) == expected
+
+
+class TestHistory:
+    def test_record_and_read_roundtrip(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        record("kernels", {"step_s": 0.5}, history_path=path, host="ci")
+        record("obs", {"overhead_ratio": 1.2}, history_path=path)
+        entries = read_history(path)
+        assert [e["bench"] for e in entries] == ["kernels", "obs"]
+        assert all(e["schema"] == BENCH_SCHEMA for e in entries)
+        assert entries[0]["context"] == {"host": "ci"}
+        assert entries[0]["recorded_at"] > 0
+
+    def test_latest_entry_picks_newest_matching(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        record("kernels", {"step_s": 1.0}, history_path=path)
+        record("kernels", {"step_s": 2.0}, history_path=path)
+        assert latest_entry("kernels", path)["metrics"] == {"step_s": 2.0}
+        assert latest_entry("missing", path) is None
+
+    def test_foreign_schema_rejected(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        path.write_text(json.dumps({"schema": "other/v9", "bench": "x"}) + "\n")
+        with pytest.raises(ValueError, match="schema"):
+            read_history(str(path))
+
+    def test_bench_name_from_path(self):
+        assert bench_name_from_path("/repo/BENCH_kernels.json") == "kernels"
+        assert bench_name_from_path("custom.json") == "custom"
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        regs, compared = compare({"a_s": 1.0}, {"a_s": 1.14}, tol=0.15)
+        assert regs == [] and compared == 1
+
+    def test_slowdown_beyond_tolerance_fails(self):
+        regs, _ = compare({"a_s": 1.0}, {"a_s": 1.16}, tol=0.15)
+        assert len(regs) == 1
+        assert regs[0]["key"] == "a_s"
+        assert regs[0]["change"] == pytest.approx(0.16)
+
+    def test_speedup_direction_inverted(self):
+        # A higher-is-better metric regresses by *dropping*.
+        regs, _ = compare({"speedup": 2.0}, {"speedup": 1.6}, tol=0.15)
+        assert len(regs) == 1
+        regs, _ = compare({"speedup": 2.0}, {"speedup": 2.5}, tol=0.15)
+        assert regs == []
+
+    def test_min_base_skips_noise(self):
+        regs, compared = compare(
+            {"tiny_s": 0.0001, "big_s": 1.0},
+            {"tiny_s": 0.01, "big_s": 1.0},
+            tol=0.15,
+            min_base=0.001,
+        )
+        assert regs == [] and compared == 1
+
+    def test_keys_glob_filters(self):
+        regs, compared = compare(
+            {"a_s": 1.0, "b_ratio": 1.0},
+            {"a_s": 9.0, "b_ratio": 1.0},
+            tol=0.15,
+            keys="*ratio",
+        )
+        assert regs == [] and compared == 1
+
+    def test_non_directional_keys_ignored(self):
+        regs, compared = compare({"nodes": 100}, {"nodes": 900}, tol=0.15)
+        assert regs == [] and compared == 0
+
+
+class TestCheckAndCli:
+    @pytest.fixture()
+    def baseline(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        path.write_text(json.dumps({"step_s": 1.0, "speedup": 2.0}))
+        return str(path)
+
+    def test_exit_zero_on_pass(self, baseline, tmp_path):
+        hist = str(tmp_path / "h.jsonl")
+        record("demo", {"step_s": 1.05, "speedup": 2.1}, history_path=hist)
+        assert check(baseline, history_path=hist, tol=0.15) == 0
+        assert main(["check", "--baseline", baseline, "--history", hist]) == 0
+
+    def test_exit_one_on_synthetic_15pct_regression(self, baseline, tmp_path):
+        hist = str(tmp_path / "h.jsonl")
+        # 16% slower than baseline at the pinned 15% gate.
+        record("demo", {"step_s": 1.16, "speedup": 2.0}, history_path=hist)
+        assert (
+            main(
+                ["check", "--baseline", baseline, "--history", hist, "--tol", "0.15"]
+            )
+            == 1
+        )
+
+    def test_exit_two_when_nothing_comparable(self, baseline, tmp_path):
+        missing = str(tmp_path / "nope.jsonl")
+        assert main(["check", "--baseline", baseline, "--history", missing]) == 2
+        # History exists but holds a different bench.
+        hist = str(tmp_path / "h.jsonl")
+        record("other", {"step_s": 1.0}, history_path=hist)
+        assert main(["check", "--baseline", baseline, "--history", hist]) == 2
+
+    def test_current_file_overrides_history(self, baseline, tmp_path):
+        current = tmp_path / "cur.json"
+        current.write_text(json.dumps({"step_s": 5.0, "speedup": 2.0}))
+        assert (
+            main(["check", "--baseline", baseline, "--current", str(current)]) == 1
+        )
+
+    def test_append_and_list_subcommands(self, baseline, tmp_path, capsys):
+        hist = str(tmp_path / "h.jsonl")
+        assert main(["append", "--file", baseline, "--history", hist]) == 0
+        assert main(["list", "--history", hist]) == 0
+        out = capsys.readouterr().out
+        assert "demo" in out
+        assert latest_entry("demo", hist)["metrics"]["step_s"] == 1.0
+
+    def test_check_output_names_regressed_keys(self, baseline, tmp_path, capsys):
+        hist = str(tmp_path / "h.jsonl")
+        record("demo", {"step_s": 2.0, "speedup": 2.0}, history_path=hist)
+        assert main(["check", "--baseline", baseline, "--history", hist]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION step_s" in out
+        assert "FAIL" in out

@@ -1,0 +1,222 @@
+"""Exact-cost assertions for the FLOP/byte model (repro.obs.cost).
+
+Every count here is hand-computed from the operand shapes — the cost
+model's contract is exactness, so tests use ``==``, never tolerance.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.autograd import matmul, spmm
+from repro.autograd.tensor import Tensor
+from repro.graphs.csr import CSRMatrix
+from repro.obs.cost import (
+    CostCollector,
+    collecting,
+    get_collector,
+    layer_scope,
+    matmul_flops,
+    set_collector,
+    spmm_bytes,
+    spmm_flops,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture()
+def collected():
+    """A live collector over a fresh registry/tracer; uninstalls after."""
+    registry, tracer = MetricsRegistry(), Tracer()
+    with collecting(registry, tracer) as collector:
+        yield registry, tracer, collector
+    assert get_collector() is None or get_collector() is not collector
+
+
+def flops_of(registry, **tags):
+    m = registry.get("cost.flops", **tags)
+    return m.value if m is not None else None
+
+
+def bytes_of(registry, **tags):
+    m = registry.get("cost.bytes", **tags)
+    return m.value if m is not None else None
+
+
+UNATTRIBUTED = dict(phase="-", client="-", layer="-")
+
+
+class TestFormulas:
+    def test_matmul_flops(self):
+        assert matmul_flops(2, 3, 4) == 48
+
+    def test_spmm_flops(self):
+        assert spmm_flops(10, 4) == 80
+
+    def test_spmm_bytes(self):
+        # 12 bytes per stored entry + dense + output footprints.
+        assert spmm_bytes(10, 96, 64) == 12 * 10 + 96 + 64
+
+
+class TestMatmul:
+    def test_forward_flops_exact(self, collected):
+        registry, _, _ = collected
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((3, 4)), requires_grad=True)
+        matmul(a, b)
+        # (2,3) @ (3,4): 2·2·3·4 = 48.
+        assert flops_of(registry, op="matmul", dir="fwd", **UNATTRIBUTED) == 48
+        # fwd bytes: a (48) + b (96) + out (64) float64 footprints.
+        assert bytes_of(registry, op="matmul", dir="fwd", **UNATTRIBUTED) == 208
+
+    def test_backward_flops_per_grad_parent(self, collected):
+        registry, _, _ = collected
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((3, 4)), requires_grad=True)
+        out = matmul(a, b)
+        out.backward(np.ones((2, 4)))
+        # dA = G@Bᵀ and dB = Aᵀ@G each cost 2·m·k·n: 48 × 2 parents.
+        assert flops_of(registry, op="matmul", dir="bwd", **UNATTRIBUTED) == 96
+
+    def test_backward_single_grad_parent(self, collected):
+        registry, _, _ = collected
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((3, 4)), requires_grad=False)
+        matmul(a, b).backward(np.ones((2, 4)))
+        assert flops_of(registry, op="matmul", dir="bwd", **UNATTRIBUTED) == 48
+
+
+class TestSpmm:
+    @pytest.fixture()
+    def operator(self):
+        s = sp.csr_matrix(
+            np.array([[1.0, 0, 2.0], [0, 3.0, 0], [4.0, 0, 5.0]])
+        )
+        return CSRMatrix.from_scipy(s)  # nnz = 5
+
+    def test_forward_exact_with_backend_tag(self, collected, operator):
+        registry, _, _ = collected
+        x = Tensor(np.ones((3, 4)), requires_grad=True)
+        spmm(operator, x)
+        tags = dict(op="spmm", dir="fwd", backend="numpy", **UNATTRIBUTED)
+        # 2·nnz·d = 2·5·4 = 40.
+        assert flops_of(registry, **tags) == 40
+        # 12·nnz + X (3·4·8) + out (3·4·8).
+        assert bytes_of(registry, **tags) == 12 * 5 + 96 + 96
+
+    def test_backward_exact(self, collected, operator):
+        registry, _, _ = collected
+        x = Tensor(np.ones((3, 4)), requires_grad=True)
+        spmm(operator, x).backward(np.ones((3, 4)))
+        tags = dict(op="spmm", dir="bwd", backend="numpy", **UNATTRIBUTED)
+        assert flops_of(registry, **tags) == 40
+
+    def test_scipy_legacy_path_tagged_scipy(self, collected):
+        registry, _, _ = collected
+        s = sp.csr_matrix(np.eye(3))
+        x = Tensor(np.ones((3, 2)), requires_grad=True)
+        spmm(s, x).backward(np.ones((3, 2)))
+        fwd = dict(op="spmm", dir="fwd", backend="scipy", **UNATTRIBUTED)
+        bwd = dict(op="spmm", dir="bwd", backend="scipy", **UNATTRIBUTED)
+        assert flops_of(registry, **fwd) == 2 * 3 * 2
+        assert flops_of(registry, **bwd) == 2 * 3 * 2
+
+    def test_not_double_counted_by_generic_hook(self, collected, operator):
+        """spmm is EXPLICIT: the shape hook must not add a second record."""
+        registry, _, _ = collected
+        x = Tensor(np.ones((3, 4)), requires_grad=True)
+        spmm(operator, x)
+        spmm_keys = [k for k in registry.names() if "op=spmm" in k]
+        # one flops + one bytes counter, single tag set (backend=numpy).
+        assert len(spmm_keys) == 2
+        for key in spmm_keys:
+            assert "backend=numpy" in key
+
+
+class TestElementwiseAndShape:
+    def test_elementwise_one_flop_per_output(self, collected):
+        registry, _, _ = collected
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        (a + a).backward(np.ones((2, 3)))
+        assert flops_of(registry, op="add", dir="fwd", **UNATTRIBUTED) == 6
+        # backward: one pass per grad-requiring parent edge (same tensor
+        # twice → counted once per parent entry with requires_grad).
+        assert flops_of(registry, op="add", dir="bwd", **UNATTRIBUTED) == 12
+
+    def test_transpose_is_zero_flop(self, collected):
+        registry, _, _ = collected
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        a.T.backward(np.ones((3, 2)))
+        assert flops_of(registry, op="transpose", dir="fwd", **UNATTRIBUTED) == 0
+        assert flops_of(registry, op="transpose", dir="bwd", **UNATTRIBUTED) == 0
+        # bytes still move even at zero FLOPs.
+        assert bytes_of(registry, op="transpose", dir="fwd", **UNATTRIBUTED) > 0
+
+
+class TestAttribution:
+    def test_phase_and_client_from_active_span(self, collected):
+        registry, tracer, _ = collected
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        with tracer.span("task", phase="train", client=1):
+            a + a
+        assert (
+            flops_of(registry, op="add", dir="fwd", phase="train", client="1", layer="-")
+            == 4
+        )
+
+    def test_phase_falls_back_to_span_name(self, collected):
+        registry, tracer, _ = collected
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        with tracer.span("eval"):
+            a + a
+        assert (
+            flops_of(registry, op="add", dir="fwd", phase="eval", client="-", layer="-")
+            == 4
+        )
+
+    def test_layer_scope(self, collected):
+        registry, _, collector = collected
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        with collector.layer("fc1"):
+            a + a
+        assert (
+            flops_of(registry, op="add", dir="fwd", phase="-", client="-", layer="fc1")
+            == 4
+        )
+
+    def test_module_call_enters_registered_name(self, collected):
+        registry, _, _ = collected
+        from repro.nn.linear import Linear
+
+        lin = Linear(3, 2, rng=np.random.default_rng(0))
+        # Simulate registration: Module.__setattr__/add_module stamp it.
+        object.__setattr__(lin, "_obs_name", "encoder")
+        lin(Tensor(np.ones((4, 3)), requires_grad=True))
+        layer_keys = [k for k in registry.names() if "layer=encoder" in k]
+        assert layer_keys, registry.names()
+
+    def test_layer_scope_helper_is_noop_when_off(self):
+        assert get_collector() is None
+        with layer_scope("fc1"):
+            pass  # must not raise without a collector
+
+
+class TestLifecycle:
+    def test_collecting_restores_previous(self):
+        registry, tracer = MetricsRegistry(), Tracer()
+        outer = CostCollector(registry, tracer)
+        prev = set_collector(outer)
+        try:
+            with collecting(registry, tracer) as inner:
+                assert get_collector() is inner
+            assert get_collector() is outer
+        finally:
+            set_collector(prev)
+
+    def test_off_means_no_counters(self):
+        registry = MetricsRegistry()
+        assert get_collector() is None
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        (a + a).backward(np.ones((2, 2)))
+        assert registry.names() == []

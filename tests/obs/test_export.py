@@ -1,0 +1,129 @@
+"""Round-trips and validation for the v2 export schema additions:
+profile events, open spans, and null-quantile histograms."""
+
+import pytest
+
+from repro.obs.export import (
+    COMPATIBLE_SCHEMAS,
+    SCHEMA_VERSION,
+    read_jsonl,
+    validate_event,
+    validate_events,
+    write_jsonl,
+)
+
+
+class TestSchemaCompat:
+    def test_current_is_v2(self):
+        assert SCHEMA_VERSION == "repro.obs/v2"
+
+    @pytest.mark.parametrize("schema", COMPATIBLE_SCHEMAS)
+    def test_both_schemas_validate(self, schema):
+        validate_event({"type": "meta", "schema": schema, "attrs": {}})
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            validate_event({"type": "meta", "schema": "repro.obs/v99", "attrs": {}})
+
+
+class TestProfileEvents:
+    def test_valid_profile_event(self):
+        validate_event(
+            {"type": "profile", "folded": {"round;train": 1.5, "round": 0.0}}
+        )
+
+    def test_missing_folded_rejected(self):
+        with pytest.raises(ValueError, match="folded"):
+            validate_event({"type": "profile"})
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            validate_event({"type": "profile", "folded": {"round": -1.0}})
+
+    def test_empty_stack_key_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            validate_event({"type": "profile", "folded": {"": 1.0}})
+
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        events = [
+            {"type": "meta", "schema": SCHEMA_VERSION, "attrs": {"profile": True}},
+            {"type": "profile", "folded": {"round;train;client.local_train": 0.25}},
+        ]
+        write_jsonl(path, events)
+        back = read_jsonl(path)
+        assert validate_events(back) == 2
+        assert back[1]["folded"] == events[1]["folded"]
+
+
+def open_span(**over):
+    e = {
+        "type": "span",
+        "name": "round",
+        "span_id": 7,
+        "parent_id": None,
+        "t_start": 1.0,
+        "t_end": None,
+        "dur": 0.5,
+        "open": True,
+        "thread": "MainThread",
+        "attrs": {},
+    }
+    e.update(over)
+    return e
+
+
+class TestOpenSpans:
+    def test_open_span_validates(self):
+        validate_event(open_span())
+
+    def test_open_span_with_t_end_rejected(self):
+        with pytest.raises(ValueError, match="t_end null"):
+            validate_event(open_span(t_end=2.0))
+
+    def test_closed_span_still_needs_numeric_t_end(self):
+        with pytest.raises(ValueError, match="t_end"):
+            validate_event(open_span(open=False))
+
+    def test_open_span_round_trips(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        events = [
+            {"type": "meta", "schema": SCHEMA_VERSION, "attrs": {}},
+            open_span(),
+        ]
+        write_jsonl(path, events)
+        back = read_jsonl(path)
+        validate_events(back)
+        assert back[1]["open"] is True and back[1]["t_end"] is None
+
+
+class TestNullQuantileHistograms:
+    def test_empty_histogram_event_round_trips(self, tmp_path):
+        """An untouched histogram dumps null min/max/quantiles — that
+        must serialize as JSON null and validate back (never NaN)."""
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.histogram("executor.queue_wait_s")  # created, never observed
+        path = str(tmp_path / "t.jsonl")
+        events = [{"type": "meta", "schema": SCHEMA_VERSION, "attrs": {}}]
+        events += reg.events()
+        write_jsonl(path, events)
+        raw = open(path).read()
+        assert "NaN" not in raw
+        back = read_jsonl(path)
+        validate_events(back)
+        hist = back[1]
+        assert hist["count"] == 0
+        assert hist["min"] is None and hist["max"] is None
+        assert all(v is None for v in hist["quantiles"].values())
+
+    def test_report_renders_empty_histogram(self):
+        """The run report must not crash on null quantiles."""
+        from repro.obs.metrics import MetricsRegistry
+        from repro.reporting.telemetry import queue_wait_summary
+
+        reg = MetricsRegistry()
+        reg.histogram("executor.queue_wait_s")
+        out = queue_wait_summary(reg.events())
+        assert "n=0" in out

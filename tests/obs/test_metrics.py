@@ -157,3 +157,33 @@ class TestRegistryDefaults:
         counter = next(e for e in events if e["metric"] == "counter")
         assert counter["value"] == 7
         assert counter["tags"] == {"kind": "weights"}
+
+
+class TestEmptyHistogram:
+    """An untouched histogram answers 'nothing observed', not garbage."""
+
+    def test_quantile_is_nan(self):
+        h = StreamingHistogram("h")
+        assert np.isnan(h.quantile(0.5))
+        assert np.isnan(h.quantile(0.95))
+
+    def test_min_max_mean_are_nan(self):
+        h = StreamingHistogram("h")
+        assert np.isnan(h.min) and np.isnan(h.max) and np.isnan(h.mean)
+        assert h.count == 0 and h.sum == 0.0
+
+    def test_dump_uses_null_not_inf(self):
+        d = StreamingHistogram("h").dump()
+        assert d["min"] is None and d["max"] is None
+        assert all(v is None for v in d["quantiles"].values())
+
+    def test_untracked_quantile_still_raises(self):
+        with pytest.raises(KeyError):
+            StreamingHistogram("h").quantile(0.42)
+
+    def test_first_observation_flips_semantics(self):
+        h = StreamingHistogram("h")
+        h.observe(3.0)
+        assert h.min == h.max == h.quantile(0.5) == 3.0
+        d = h.dump()
+        assert d["min"] == 3.0 and d["quantiles"]["0.5"] == 3.0

@@ -203,3 +203,65 @@ class TestTelemetrySession:
     def test_save_without_path_raises(self):
         with pytest.raises(ValueError):
             TelemetrySession().save()
+
+
+class TestOpenSpansAndListeners:
+    def test_open_spans_tracked_until_close(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                names = [s.name for s in tr.open_spans()]
+                assert names == ["outer", "inner"]
+            assert [s.name for s in tr.open_spans()] == ["outer"]
+        assert tr.open_spans() == []
+
+    def test_open_span_events_explicit_partial(self):
+        tr = Tracer()
+        span = tr.span("round", round=0)
+        span.__enter__()
+        try:
+            (e,) = tr.open_span_events()
+        finally:
+            span.__exit__(None, None, None)
+        assert e["open"] is True
+        assert e["t_end"] is None
+        assert e["dur"] > 0  # elapsed-so-far, not missing
+        validate_event(e)
+        assert tr.open_span_events() == []
+
+    def test_session_events_include_open_spans(self):
+        with TelemetrySession() as tel:
+            span = tel.tracer.span("stuck")
+            span.__enter__()
+            try:
+                events = tel.events()
+            finally:
+                span.__exit__(None, None, None)
+        open_evs = [e for e in events if e.get("type") == "span" and e.get("open")]
+        assert [e["name"] for e in open_evs] == ["stuck"]
+        assert validate_events(events) == len(events)
+
+    def test_listeners_fire_on_open_and_close(self):
+        calls = []
+
+        class Probe:
+            def on_span_open(self, span):
+                calls.append(("open", span.name))
+
+            def on_span_close(self, span):
+                calls.append(("close", span.name))
+
+        tr = Tracer()
+        probe = Probe()
+        tr.add_listener(probe)
+        with tr.span("a"):
+            pass
+        tr.remove_listener(probe)
+        with tr.span("b"):
+            pass
+        assert calls == [("open", "a"), ("close", "a")]
+
+    def test_null_tracer_skips_bookkeeping(self):
+        with NULL_TRACER.span("x"):
+            assert NULL_TRACER.open_spans() == []
+        assert NULL_TRACER.open_span_events() == []
