@@ -224,13 +224,29 @@ class ProtocolMonitor:
     construction: a dropped client's upload never reaches the transport
     (``ClientDropped`` is raised first), and skipping phases forward is
     always allowed.
+
+    **Per-client mode** (``per_client=True``, armed for the async round
+    engine).  The strict global lattice assumes one barrier round at a
+    time; under quorum aggregation a straggler's phase-5 weight upload
+    lands *inside* a later round's phase-1/2 statistics exchange, which
+    is protocol-legal — each client individually still walks Algorithm 1
+    in order.  Per-client mode therefore tracks one phase per client id
+    (point-to-point transfers carry the id via the transport's
+    ``client=`` tag; true collectives apply to every client at once);
+    ``on_round_end`` resets every lattice, same as the global one — see
+    the comment there for why that loses no checking power.  Untagged
+    per-client traffic falls back to the global phase.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, per_client: bool = False) -> None:
         self._lock = threading.Lock()
         self._phase = ROUND_BOUNDARY  # pre-round: anything may start
         self._rounds_seen = 0
         self._private: List[Tuple[str, np.ndarray]] = []
+        self.per_client = bool(per_client)
+        # cid → phase; unseen clients start at the collective phase.
+        self._client_phase: Dict[int, int] = {}
+        self._collective_phase = ROUND_BOUNDARY
 
     def register_private_array(self, name: str, arr: np.ndarray) -> None:
         """Declare ``arr`` as raw party data that must never be uploaded."""
@@ -238,26 +254,62 @@ class ProtocolMonitor:
             self._private.append((name, np.asarray(arr)))
 
     # -- transport hooks ----------------------------------------------
-    def on_event(self, direction: str, kind: str, payload: Any) -> None:
-        """One collective fired: ``direction`` is ``"up"``/``"down"``."""
+    def on_event(
+        self, direction: str, kind: str, payload: Any, client: Optional[int] = None
+    ) -> None:
+        """One collective fired: ``direction`` is ``"up"``/``"down"``.
+
+        ``client`` is the point-to-point peer id (``None`` for true
+        collectives); it selects the per-client lattice when the monitor
+        runs in per-client mode and is ignored otherwise.
+        """
         if direction == "up":
             self._check_privacy(kind, payload)
         phase = PROTOCOL_PHASES.get((direction, kind))
         if phase is None:
             return
         with self._lock:
-            prev = self._phase
-            if not transition_allowed(prev, phase):
-                raise ProtocolViolationError(
-                    f"Algorithm 1 phase order violated (round "
-                    f"{self._rounds_seen}): `{PHASE_NAMES[phase]}` cannot "
-                    f"follow `{PHASE_NAMES[prev]}` within a round"
-                )
-            self._phase = phase
+            if self.per_client and client is not None:
+                prev = self._client_phase.get(client, self._collective_phase)
+                self._require(prev, phase, f"client {client}")
+                self._client_phase[client] = phase
+            elif self.per_client:
+                # A true collective (broadcast/gather) moves every client:
+                # each tracked lattice must accept the transition.
+                for cid in sorted(self._client_phase):
+                    self._require(self._client_phase[cid], phase, f"client {cid}")
+                self._require(self._collective_phase, phase, "collective")
+                self._client_phase = {cid: phase for cid in self._client_phase}
+                self._collective_phase = phase
+            else:
+                self._require(self._phase, phase, "round")
+                self._phase = phase
+
+    def _require(self, prev: int, phase: int, who: str) -> None:
+        """Raise unless ``prev → phase`` is lattice-legal (lock held)."""
+        if not transition_allowed(prev, phase):
+            raise ProtocolViolationError(
+                f"Algorithm 1 phase order violated ({who}, round "
+                f"{self._rounds_seen}): `{PHASE_NAMES[phase]}` cannot "
+                f"follow `{PHASE_NAMES[prev]}` within a round"
+            )
 
     def on_round_end(self) -> None:
         with self._lock:
+            # The boundary resets every lattice, per-client ones
+            # included: a round may legally end without a model push
+            # (all arrivals quarantined or over-stale), and the next
+            # exchange then starts from clients' local states — exactly
+            # what the barrier lattice permits after its reset.  A
+            # straggler crossing the boundary mid-protocol stays legal
+            # too: its weight upload may follow a boundary, and its
+            # catch-up model download is phase 0.  Intra-round
+            # interleaving is still fully checked — an in-flight client
+            # is masked out of the exchange, so its late upload can
+            # never split its *own* round's phases.
             self._phase = ROUND_BOUNDARY
+            self._collective_phase = ROUND_BOUNDARY
+            self._client_phase = {cid: ROUND_BOUNDARY for cid in self._client_phase}
             self._rounds_seen += 1
 
     # -- privacy tripwire ---------------------------------------------
@@ -527,11 +579,17 @@ class SanitizerSession:
         Arm the lock-ownership probes.  The trainer passes
         ``executor.parallel`` so single-threaded runs skip probing
         objects that only the coordinating thread touches.
+    per_client_protocol:
+        Track one Algorithm-1 phase lattice per client instead of one
+        global lattice — required under the async round engine, where
+        stragglers legally interleave across server rounds.
     """
 
-    def __init__(self, concurrency: bool = False) -> None:
+    def __init__(
+        self, concurrency: bool = False, per_client_protocol: bool = False
+    ) -> None:
         self.autograd = AutogradSanitizer()
-        self.protocol = ProtocolMonitor()
+        self.protocol = ProtocolMonitor(per_client=per_client_protocol)
         self.lock_order = LockOrderRecorder()
         self.concurrency = bool(concurrency)
         self._prev: Optional[AutogradSanitizer] = None

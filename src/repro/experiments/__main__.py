@@ -56,7 +56,7 @@ def main(argv=None) -> int:
         "the run report on exit (composes with --telemetry for the trace)",
     )
     chaos = parser.add_argument_group(
-        "chaos", "fault injection + checkpoint/resume (chaos experiment only)"
+        "chaos", "fault injection + checkpoint/resume (chaos/loadtest experiments)"
     )
     chaos.add_argument(
         "--faults",
@@ -66,6 +66,19 @@ def main(argv=None) -> int:
     )
     chaos.add_argument(
         "--fault-seed", type=int, default=0, help="seed of the fault plan RNG"
+    )
+    chaos.add_argument(
+        "--engine",
+        choices=["barrier", "async"],
+        default=None,
+        help="round engine (chaos experiment; loadtest is always async)",
+    )
+    chaos.add_argument(
+        "--clients",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the client count (loadtest experiment only)",
     )
     chaos.add_argument(
         "--resume",
@@ -110,6 +123,8 @@ def main(argv=None) -> int:
         "--faults": args.faults,
         "--resume": args.resume,
         "--checkpoint-dir": args.checkpoint_dir,
+        "--engine": args.engine,
+        "--clients": args.clients,
     }
     if args.checkpoint_every:
         chaos_flags["--checkpoint-every"] = args.checkpoint_every
@@ -117,6 +132,8 @@ def main(argv=None) -> int:
         chaos_flags["--sanitize"] = True
     extra = None
     if args.experiment == "chaos":
+        if args.clients is not None:
+            parser.error("--clients only applies to the 'loadtest' experiment")
         extra = dict(
             faults=args.faults,
             fault_seed=args.fault_seed,
@@ -124,12 +141,29 @@ def main(argv=None) -> int:
             checkpoint_every=args.checkpoint_every,
             checkpoint_dir=args.checkpoint_dir,
             sanitize=args.sanitize,
+            engine=args.engine or "barrier",
+        )
+    elif args.experiment == "loadtest":
+        loadtest_only = {
+            "--resume": args.resume,
+            "--checkpoint-dir": args.checkpoint_dir,
+            "--engine": args.engine,
+        }
+        used = [flag for flag, value in loadtest_only.items() if value is not None]
+        if used or args.checkpoint_every or args.sanitize:
+            bad = used + (["--checkpoint-every"] if args.checkpoint_every else [])
+            bad += ["--sanitize"] if args.sanitize else []
+            parser.error(f"{', '.join(bad)} do not apply to the 'loadtest' experiment")
+        extra = dict(
+            faults=args.faults,
+            fault_seed=args.fault_seed,
+            clients=args.clients,
         )
     else:
         used = [flag for flag, value in chaos_flags.items() if value is not None]
         if used:
             parser.error(
-                f"{', '.join(used)} only apply to the 'chaos' experiment"
+                f"{', '.join(used)} only apply to the 'chaos'/'loadtest' experiments"
             )
 
     if args.profile:

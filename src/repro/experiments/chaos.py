@@ -50,6 +50,7 @@ def run(
     checkpoint_dir: Optional[str] = None,
     num_workers: int = 1,
     sanitize: bool = False,
+    engine: str = "barrier",
 ) -> ExperimentResult:
     params = MODE_PARAMS[mode]
     spec = faults or CHAOS_FAULTS_DEFAULT
@@ -67,6 +68,7 @@ def run(
         checkpoint_every=checkpoint_every,
         checkpoint_dir=checkpoint_dir,
         sanitize=sanitize,
+        engine=engine,
     )
 
     # Fault counters need a live registry; reuse the CLI's telemetry
@@ -86,6 +88,7 @@ def run(
             headers=["fault kind", "injected", "excluded"],
             meta={
                 "faults": plan.describe(),
+                "engine": engine,
                 "rounds": str(len(history)),
                 "final_test_acc": f"{history.final_test_accuracy():.4f}",
                 **(

@@ -55,5 +55,25 @@ CHAOS_FAULTS_DEFAULT = (
 )
 
 
+# Async-engine load test (experiments/loadtest.py): N tiny SBM parties
+# with churn, timed on the virtual clock.  Client count scales by mode;
+# "full" is the 1000-client acceptance run behind BENCH_async.json.
+LOADTEST_CLIENTS = {"smoke": 60, "quick": 250, "full": 1000}
+LOADTEST_ROUNDS = {"smoke": 3, "quick": 4, "full": 5}
+LOADTEST_NODES_PER_CLIENT = 16
+LOADTEST_FEATURES = 12
+LOADTEST_CLASSES = 2
+LOADTEST_HIDDEN = 8
+# 20% stragglers whose 2 s delay dwarfs the ~0.05-0.075 s report latency,
+# an 8% medium tier (0.15 s — a few rounds late, so the staleness-weighted
+# path actually fires), plus drop/crash churn.  Quorum sits below the
+# ~70% fast-arrival rate with margin: at 1000 clients the arrival mix
+# concentrates, and a quorum above it would wait on stragglers anyway.
+LOADTEST_FAULTS = (
+    "straggler=0.2:delay=2.0,straggler=0.1:delay=0.15,drop=0.05,crash=0.03"
+)
+LOADTEST_QUORUM = 0.6
+
+
 def paper_resolution(dataset: str) -> float:
     return PAPER_RESOLUTION.get(dataset, 1.0)

@@ -18,8 +18,20 @@ Key pieces:
 * :class:`FederatedTrainer` — the synchronous round loop with
   communication interval, patience-based early stopping, and per-round
   history (Figure 5's data source).
+* :class:`AsyncRoundEngine` — the event-driven alternative
+  (``TrainerConfig.engine="async"``): quorum aggregation with
+  staleness-weighted FedAvg on a seeded :class:`VirtualClock`.
 """
 
+from repro.federated.async_engine import (
+    AsyncRoundEngine,
+    ClientLatencyModel,
+    PendingReport,
+    proximal_correction,
+    quorum_target,
+    staleness_weights,
+)
+from repro.federated.clock import Clock, SystemClock, VirtualClock
 from repro.federated.comm import Communicator, CommStats, payload_bytes
 from repro.federated.executor import ClientExecutor, resolve_workers
 from repro.federated.faults import (
@@ -47,6 +59,15 @@ from repro.federated.history import RoundRecord, TrainingHistory
 from repro.federated.trainer import FederatedTrainer, TrainerConfig
 
 __all__ = [
+    "AsyncRoundEngine",
+    "ClientLatencyModel",
+    "PendingReport",
+    "proximal_correction",
+    "quorum_target",
+    "staleness_weights",
+    "Clock",
+    "SystemClock",
+    "VirtualClock",
     "Communicator",
     "CommStats",
     "payload_bytes",

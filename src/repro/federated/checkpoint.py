@@ -109,6 +109,12 @@ def save_trainer_checkpoint(trainer, path: str, next_round: int) -> str:
             for i, state in enumerate(best_states):
                 for k, v in state.items():
                     arrays[f"best{i}/{k}"] = v
+        engine = getattr(trainer, "async_engine", None)
+        if engine is not None:
+            # The event heap (in-flight reports), model version counter,
+            # virtual time, and the prox-target global state: everything
+            # a mid-quorum resume needs to replay arrivals bitwise.
+            arrays.update(engine.global_arrays())
         stats = trainer.comm.snapshot()
         meta = {
             "version": CHECKPOINT_VERSION,
@@ -123,6 +129,7 @@ def save_trainer_checkpoint(trainer, path: str, next_round: int) -> str:
             "opt": opt_meta,
             "model_rng": rng_states,
             "round_rng": _rng_state(trainer._round_rng),
+            "async": engine.state_dict() if engine is not None else None,
             "comm": {
                 "uplink_bytes": stats.uplink_bytes,
                 "downlink_bytes": stats.downlink_bytes,
@@ -215,6 +222,18 @@ def load_trainer_checkpoint(trainer, path: str) -> int:
         trainer.history = TrainingHistory(
             records=[RoundRecord(**r) for r in meta["history"]]
         )
+        engine = getattr(trainer, "async_engine", None)
+        saved_async = meta.get("async")
+        if (saved_async is None) != (engine is None):
+            # The config echo already rejects engine mismatches; this
+            # guards checkpoints from before the field existed.
+            raise ValueError("checkpoint round-engine does not match the trainer's")
+        if engine is not None:
+            prefix = "async_global/"
+            global_state = {
+                k[len(prefix):]: v for k, v in arrays.items() if k.startswith(prefix)
+            }
+            engine.load_state_dict(saved_async, global_state or None)
         trainer._start_round = int(meta["next_round"])
     reg = get_registry()
     if reg.enabled:

@@ -27,7 +27,7 @@ from __future__ import annotations
 import copy
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 import scipy.sparse as sp
@@ -190,16 +190,21 @@ class Communicator:
         if self.num_clients < 1:
             raise ValueError("need at least one client")
 
-    def _notify(self, direction: str, kind: str, payload: Any) -> None:
+    def _notify(
+        self, direction: str, kind: str, payload: Any, client: Optional[int] = None
+    ) -> None:
         """Report a collective to the attached monitor, if any.
 
         Called at the top of each collective — before metering — so a
         protocol/privacy violation aborts the transfer with the
-        counters untouched.
+        counters untouched.  ``client`` identifies the peer of a
+        point-to-point transfer (``None`` for true collectives), which
+        is what lets the monitor track a per-client phase lattice under
+        the async engine.
         """
         monitor = self._monitor
         if monitor is not None:
-            monitor.on_event(direction, kind, payload)
+            monitor.on_event(direction, kind, payload, client=client)
 
     def snapshot(self) -> CommStats:
         """Consistent copy of the counters (safe during concurrent sends)."""
@@ -241,7 +246,7 @@ class Communicator:
     def send_to_client(self, client_id: int, payload: Any, kind: str = KIND_OTHER) -> Any:
         """Server → one client."""
         self._check_id(client_id)
-        self._notify("down", kind, payload)
+        self._notify("down", kind, payload, client=client_id)
         self._meter_downlink(payload_bytes(payload), kind=kind)
         return copy.deepcopy(payload)
 
@@ -257,7 +262,7 @@ class Communicator:
     def send_to_server(self, client_id: int, payload: Any, kind: str = KIND_OTHER) -> Any:
         """One client → server."""
         self._check_id(client_id)
-        self._notify("up", kind, payload)
+        self._notify("up", kind, payload, client=client_id)
         self._meter_uplink(payload_bytes(payload), kind=kind)
         return copy.deepcopy(payload)
 

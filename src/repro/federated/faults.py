@@ -53,12 +53,12 @@ matching spec wins):
 from __future__ import annotations
 
 import copy
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
+from repro.federated.clock import Clock, SystemClock
 from repro.federated.comm import Communicator, KIND_OTHER, KIND_WEIGHTS
 from repro.federated.executor import ClientExecutor
 from repro.obs import get_registry, get_tracer
@@ -341,9 +341,20 @@ class FaultInjector:
     succeeded), and ``fault.recovery`` spans around the retry loop.
     """
 
-    def __init__(self, plan: FaultPlan, policy: Optional[ResiliencePolicy] = None) -> None:
+    def __init__(
+        self,
+        plan: FaultPlan,
+        policy: Optional[ResiliencePolicy] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
         self.plan = plan
         self.policy = policy or ResiliencePolicy()
+        # Every injected wait (straggler delay, timeout, retry backoff)
+        # sleeps against this clock.  The default is real time — a
+        # straggler genuinely delays a barrier round — but tests (and the
+        # async engine, which turns delays into event timestamps) pass a
+        # VirtualClock so fault drills stop paying wall-clock.
+        self.clock: Clock = clock if clock is not None else SystemClock()
         self.round = -1
         self._events: Dict[int, FaultEvent] = {}
         self._failed: Dict[int, str] = {}  # cid -> exclusion reason (fault kind)
@@ -355,7 +366,7 @@ class FaultInjector:
         self._failed = {}
         for cid, ev in self._events.items():
             if ev.kind == DROP:
-                self._record_injected(ev)
+                self.record_injected(ev)
                 self.mark_failed(cid, DROP)
 
     def event(self, client_id: int, kind: Optional[str] = None) -> Optional[FaultEvent]:
@@ -385,8 +396,9 @@ class FaultInjector:
     def run_task(self, client, fn: Callable[[Any], R]):
         """Run one client task under the plan; returns ``FAILED`` on loss.
 
-        Straggler delays sleep for real (they must show up in round
-        wall-clock) but are capped at the timeout, so chaos tests with
+        Straggler delays sleep against the injector's clock (real time by
+        default — they must show up in round wall-clock — virtual under
+        test) and are capped at the timeout, so chaos tests with
         millisecond delays stay fast.  A timed-out attempt never runs
         ``fn`` — the simulated client missed the deadline, so its work
         is not applied — which keeps retries idempotent.
@@ -401,7 +413,7 @@ class FaultInjector:
             return self._run_straggler(client, fn, ev)
         if ev.kind == CRASH:
             fn(client)  # work happens, then the client dies: result lost
-            self._record_injected(ev)
+            self.record_injected(ev)
             self.mark_failed(cid, CRASH)
             return FAILED
         # drop is handled at begin_round; corrupt fires at upload time.
@@ -410,14 +422,14 @@ class FaultInjector:
     def _run_straggler(self, client, fn: Callable[[Any], R], ev: FaultEvent):
         policy = self.policy
         timeout = policy.client_timeout
-        self._record_injected(ev)
+        self.record_injected(ev)
         if timeout is None or ev.delay <= timeout:
-            time.sleep(ev.delay)
+            self.clock.sleep(ev.delay)
             return fn(client)
         # Deadline exceeded: the attempt is abandoned before any work is
         # applied.  The delay is transient, so a retry (with backoff)
         # succeeds; without retries the client is excluded this round.
-        time.sleep(timeout)
+        self.clock.sleep(timeout)
         if policy.client_retries < 1:
             self.mark_failed(client.cid, STRAGGLER)
             return FAILED
@@ -425,7 +437,7 @@ class FaultInjector:
         with tracer.span(
             "fault.recovery", client=client.cid, round=ev.round, kind=STRAGGLER
         ):
-            time.sleep(policy.retry_backoff)
+            self.clock.sleep(policy.retry_backoff)
             result = fn(client)
         reg = get_registry()
         if reg.enabled:
@@ -441,11 +453,14 @@ class FaultInjector:
         if ev.kind == DROP:
             raise ClientDropped(client_id)
         if ev.kind == CORRUPT and kind == KIND_WEIGHTS:
-            self._record_injected(ev)
+            self.record_injected(ev)
             return corrupt_payload(payload, ev.mode)
         return payload
 
-    def _record_injected(self, ev: FaultEvent) -> None:
+    def record_injected(self, ev: Optional[FaultEvent]) -> None:
+        """Count one fired fault (public: the async engine records at pop)."""
+        if ev is None:
+            return
         reg = get_registry()
         if reg.enabled:
             reg.counter("faults.injected", kind=ev.kind).inc()

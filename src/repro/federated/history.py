@@ -44,6 +44,19 @@ class RoundRecord:
         }
 
 
+def _metrics_match(a: Dict[str, float], b: Dict[str, float]) -> bool:
+    """Dict equality where NaN matches NaN.
+
+    A round whose every arrived loss is non-finite (or whose quorum was
+    met entirely by loss-less reports) deterministically records a NaN
+    ``train_loss``; two such runs still *match* — the NaN is in the same
+    place for the same reason.
+    """
+    if a.keys() != b.keys():
+        return False
+    return all(va == b[k] or (va != va and b[k] != b[k]) for k, va in a.items())
+
+
 @dataclass
 class TrainingHistory:
     """Accumulates :class:`RoundRecord`s and exposes convergence views."""
@@ -90,7 +103,7 @@ class TrainingHistory:
         if len(self.records) != len(other.records):
             return False
         return all(
-            a.metrics_dict() == b.metrics_dict()
+            _metrics_match(a.metrics_dict(), b.metrics_dict())
             for a, b in zip(self.records, other.records)
         )
 

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.autograd import Tensor
 from repro.federated.client import Client
+from repro.federated.clock import Clock, SystemClock, VirtualClock
 from repro.federated.comm import Communicator, KIND_WEIGHTS
 from repro.federated.executor import ClientExecutor
 from repro.federated.faults import (
@@ -97,6 +98,27 @@ class TrainerConfig:
     # read values — they just fail loudly instead of training through
     # corrupted state.
     sanitize: bool = False
+    # ---- round engine (see repro.federated.async_engine) -----------------
+    # "barrier": the synchronous loop below — every round waits for all
+    # its participants.  "async": the event-driven engine on a seeded
+    # virtual clock — the server aggregates once `quorum` of the round's
+    # dispatched clients have reported; late reports fold into later
+    # rounds staleness-weighted.  At quorum=1.0 with no churn the async
+    # engine reproduces the barrier trajectory bitwise.
+    engine: str = "barrier"
+    # Fraction of dispatched clients whose uploads a round waits for.
+    quorum: float = 1.0
+    # λ_i ∝ n_i · staleness_decay^s for an update s model versions old.
+    staleness_decay: float = 0.5
+    # Updates older than this many versions are discarded outright.
+    max_staleness: int = 8
+    # FedProx-style proximal pull of stale updates toward the current
+    # global model, strength μ·s/(1+μ·s); exact no-op at s=0.
+    prox_mu: float = 0.1
+    # Simulated report latency (virtual seconds): duration drawn per
+    # (round, client) as base·(1 + jitter·U[0,1)) from a seeded stream.
+    latency_base: float = 0.05
+    latency_jitter: float = 0.5
 
     def __post_init__(self) -> None:
         if self.max_rounds < 1 or self.local_epochs < 1:
@@ -115,6 +137,18 @@ class TrainerConfig:
             raise ValueError("checkpoint_every must be >= 0 (0 = off)")
         if self.checkpoint_every > 0 and not self.checkpoint_dir:
             raise ValueError("checkpoint_every needs a checkpoint_dir")
+        if self.engine not in ("barrier", "async"):
+            raise ValueError(f"engine must be 'barrier' or 'async', got {self.engine!r}")
+        if not 0.0 < self.quorum <= 1.0:
+            raise ValueError("quorum must be in (0, 1]")
+        if not 0.0 < self.staleness_decay <= 1.0:
+            raise ValueError("staleness_decay must be in (0, 1]")
+        if self.max_staleness < 0:
+            raise ValueError("max_staleness must be >= 0")
+        if self.prox_mu < 0:
+            raise ValueError("prox_mu must be >= 0")
+        if self.latency_base < 0 or self.latency_jitter < 0:
+            raise ValueError("latency_base and latency_jitter must be >= 0")
 
 
 class FederatedTrainer:
@@ -128,11 +162,21 @@ class FederatedTrainer:
         config: Optional[TrainerConfig] = None,
         seed: int = 0,
         faults: Optional[FaultPlan] = None,
+        clock: Optional[Clock] = None,
     ) -> None:
         if not parts:
             raise ValueError("need at least one party")
         self.config = config or TrainerConfig()
         self.seed = seed
+        # The async engine *requires* virtual time (arrival order is part
+        # of the trajectory); the barrier engine defaults to real time but
+        # accepts a VirtualClock so fault drills stop paying wall-clock.
+        if clock is not None:
+            self.clock = clock
+        elif self.config.engine == "async":
+            self.clock = VirtualClock()
+        else:
+            self.clock = SystemClock()
         self.executor = ClientExecutor(self.config.num_workers)
         if faults is not None:
             policy = ResiliencePolicy(
@@ -140,7 +184,9 @@ class FederatedTrainer:
                 client_retries=self.config.client_retries,
                 retry_backoff=self.config.retry_backoff,
             )
-            self.injector: Optional[FaultInjector] = FaultInjector(faults, policy)
+            self.injector: Optional[FaultInjector] = FaultInjector(
+                faults, policy, clock=self.clock
+            )
             self.comm: Communicator = FaultyCommunicator(len(parts), self.injector)
             self.fault_executor: Optional[FaultingExecutor] = FaultingExecutor(
                 self.executor, self.injector
@@ -153,7 +199,8 @@ class FederatedTrainer:
             from repro.analysis.sanitize import SanitizerSession
 
             self.sanitizer: Optional[SanitizerSession] = SanitizerSession(
-                concurrency=self.executor.parallel
+                concurrency=self.executor.parallel,
+                per_client_protocol=self.config.engine == "async",
             )
             self.sanitizer.attach_communicator(self.comm)
         else:
@@ -187,6 +234,14 @@ class FederatedTrainer:
                     ]
                 )
         self._sync_initial_state()
+        # Built after clients exist (the engine snapshots W₀ lazily) and
+        # before any resume(), which restores the engine's event queue.
+        if self.config.engine == "async":
+            from repro.federated.async_engine import AsyncRoundEngine
+
+            self.async_engine: Optional[AsyncRoundEngine] = AsyncRoundEngine(self)
+        else:
+            self.async_engine = None
 
     # ------------------------------------------------------------------
     # hooks
@@ -370,7 +425,10 @@ class FederatedTrainer:
             # after construction; probe whatever is current.
             self.sanitizer.attach_registry(get_registry())
         try:
-            self._run_rounds(cfg, verbose)
+            if self.async_engine is not None:
+                self.async_engine.run(verbose)
+            else:
+                self._run_rounds(cfg, verbose)
         finally:
             if self.sanitizer is not None:
                 self.sanitizer.uninstall()

@@ -1,0 +1,146 @@
+"""Async/barrier equivalence: full quorum replays the golden trajectory.
+
+The async engine's deterministic mode — every client reporting, quorum
+1.0 — is designed to take the *identical* float operations the barrier
+loop takes: same participant RNG draw, same client-id aggregation
+order, same ``fedavg`` call, same broadcast.  This suite pins that
+design bitwise, against the same ``GOLDEN_DIGEST`` the barrier engine
+is pinned to, and in every operational variant (serial, parallel
+executor, sanitizers armed, profiler on).  Any divergence between the
+engines from now on is a loud digest flip, not a silent drift.
+
+Construction-time validation rides along: the engine refuses wall
+clocks and trainers whose custom ``aggregate`` it cannot replay.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FedOMDConfig, FedOMDTrainer
+from repro.federated import FederatedTrainer, SystemClock, TrainerConfig, VirtualClock
+from repro.graphs import load_dataset, louvain_partition
+from tests.federated.test_golden_history import GOLDEN_DIGEST, digest
+
+
+@pytest.fixture(scope="module")
+def parts():
+    g = load_dataset("cora", seed=0, scale=0.12)
+    return louvain_partition(g, 3, np.random.default_rng(0)).parts
+
+
+def golden_async_history(parts, **overrides):
+    cfg = FedOMDConfig(
+        max_rounds=3, patience=50, hidden=16, engine="async", **overrides
+    )
+    return FedOMDTrainer(parts, cfg, seed=0).run()
+
+
+class TestGoldenEquivalence:
+    def test_async_full_quorum_matches_golden_digest(self, parts):
+        assert digest(golden_async_history(parts)) == GOLDEN_DIGEST
+
+    def test_async_parallel_matches_golden_digest(self, parts):
+        assert digest(golden_async_history(parts, num_workers=3)) == GOLDEN_DIGEST
+
+    def test_async_sanitized_matches_golden_digest(self, parts):
+        # --sanitize arms the per-client protocol lattice; it must
+        # observe without perturbing a single bit.
+        assert digest(golden_async_history(parts, sanitize=True)) == GOLDEN_DIGEST
+
+    def test_async_profiled_matches_golden_digest(self, parts, tmp_path):
+        from repro.obs import ProfileSession
+
+        session = ProfileSession(
+            jsonl_path=None, folded_path=str(tmp_path / "profile.folded")
+        )
+        with session:
+            hist = golden_async_history(parts)
+        assert digest(hist) == GOLDEN_DIGEST
+        assert (tmp_path / "profile.folded").exists()
+
+    def test_base_trainer_histories_and_weights_identical(self, parts):
+        # Beyond the metric digest: the final client weights themselves
+        # must be equal to the bit, for the plain FedAvg trainer too.
+        def run(engine):
+            cfg = TrainerConfig(max_rounds=4, patience=50, hidden=8, engine=engine)
+            tr = FederatedTrainer(parts, cfg, seed=0)
+            return tr, tr.run()
+
+        barrier, hist_b = run("barrier")
+        asynch, hist_a = run("async")
+        assert hist_a.metrics_equal(hist_b)
+        for cb, ca in zip(barrier.clients, asynch.clients):
+            sb, sa = cb.get_state(), ca.get_state()
+            assert sb.keys() == sa.keys()
+            for k in sb:
+                np.testing.assert_array_equal(sb[k], sa[k], err_msg=f"{cb.cid}/{k}")
+
+    def test_comm_bytes_identical(self, parts):
+        # Full quorum with nobody in flight uses the same broadcast /
+        # gather collectives, so even the metered traffic matches.
+        def run(engine):
+            cfg = TrainerConfig(max_rounds=3, patience=50, hidden=8, engine=engine)
+            tr = FederatedTrainer(parts, cfg, seed=0)
+            tr.run()
+            return tr.comm.stats
+
+        sb, sa = run("barrier"), run("async")
+        assert sa.uplink_bytes == sb.uplink_bytes
+        assert sa.downlink_bytes == sb.downlink_bytes
+        assert sa.by_kind == sb.by_kind
+
+
+class TestEngineValidation:
+    def test_engine_field_validated(self):
+        with pytest.raises(ValueError, match="engine"):
+            TrainerConfig(engine="warp")
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("quorum", 0.0),
+            ("quorum", 1.5),
+            ("staleness_decay", 0.0),
+            ("staleness_decay", 2.0),
+            ("max_staleness", -1),
+            ("prox_mu", -0.5),
+            ("latency_base", -1.0),
+            ("latency_jitter", -0.1),
+        ],
+    )
+    def test_async_knobs_validated(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            TrainerConfig(**{field: value})
+
+    def test_async_requires_virtual_clock(self, parts):
+        cfg = TrainerConfig(max_rounds=2, patience=50, hidden=8, engine="async")
+        with pytest.raises(ValueError, match="VirtualClock"):
+            FederatedTrainer(parts, cfg, seed=0, clock=SystemClock())
+
+    def test_barrier_engine_has_no_async_state(self, parts):
+        cfg = TrainerConfig(max_rounds=1, patience=50, hidden=8)
+        tr = FederatedTrainer(parts, cfg, seed=0)
+        assert tr.async_engine is None
+        assert isinstance(tr.clock, SystemClock)
+
+    def test_async_engine_installed_with_virtual_clock(self, parts):
+        cfg = TrainerConfig(max_rounds=1, patience=50, hidden=8, engine="async")
+        tr = FederatedTrainer(parts, cfg, seed=0)
+        assert tr.async_engine is not None
+        assert isinstance(tr.clock, VirtualClock)
+
+    def test_custom_aggregate_rejected(self, parts):
+        class ServerStepTrainer(FederatedTrainer):
+            def aggregate(self):
+                return super().aggregate()
+
+        cfg = TrainerConfig(max_rounds=2, patience=50, hidden=8, engine="async")
+        with pytest.raises(ValueError, match="aggregate"):
+            ServerStepTrainer(parts, cfg, seed=0)
+
+    def test_fedprox_rejected(self, parts):
+        from repro.baselines import FedProxTrainer
+
+        cfg = TrainerConfig(max_rounds=2, patience=50, hidden=8, engine="async")
+        with pytest.raises(ValueError, match="aggregate"):
+            FedProxTrainer(parts, cfg, seed=0)
