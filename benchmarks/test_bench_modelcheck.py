@@ -1,0 +1,49 @@
+"""Model-checker throughput bench: schedules/sec and DPOR pruning ratio.
+
+Runs ``repro.analysis.modelcheck`` end-to-end — baseline run, schedule
+enumeration, one controlled federated run per schedule, digest
+comparison — and merges the throughput metrics into
+``BENCH_modelcheck.json`` at the repo root (per-mode keys, same
+convention as ``BENCH_async.json``: a smoke run in CI never clobbers
+the committed full entry).
+
+Scale knob: ``REPRO_BENCH_MODELCHECK_SCALE=smoke`` (CI) explores 24
+schedules over 3 clients; ``full`` (the default) is the 120-schedule
+4-client acceptance configuration.
+"""
+
+import json
+import os
+
+from repro.analysis.modelcheck import main as mc_main
+
+SCALE = os.environ.get("REPRO_BENCH_MODELCHECK_SCALE", "full")
+
+CONFIGS = {
+    "smoke": ["--clients", "3", "--rounds", "2", "--max-schedules", "24"],
+    "full": ["--clients", "4", "--rounds", "2", "--max-schedules", "120"],
+}
+MIN_SCHEDULES = {"smoke": 24, "full": 100}
+#: Generous wall-clock gate per schedule; the committed baseline and
+#: ``repro.obs.bench check`` track the real trajectory.
+MAX_PER_SCHEDULE_S = 1.0
+
+
+def test_bench_modelcheck_throughput(capsys):
+    argv = CONFIGS[SCALE] + [
+        "--resume-checks", "2",
+        "--mode", SCALE,
+        "--bench-out", "BENCH_modelcheck.json",
+    ]
+    assert mc_main(argv) == 0, "explored schedules must be bitwise-equivalent"
+    print("\n" + capsys.readouterr().out)
+
+    with open("BENCH_modelcheck.json") as f:
+        bench = json.load(f)
+    assert SCALE in bench
+    entry = bench[SCALE]
+
+    assert entry["schedules"] >= MIN_SCHEDULES[SCALE]
+    assert 0 < entry["per_schedule_s"] < MAX_PER_SCHEDULE_S
+    # DPOR keeps a strict subset of the raw (n!)^rounds space.
+    assert 0 < entry["dpor_kept_ratio"] < 1

@@ -55,9 +55,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-dataflow",
         action="store_true",
-        help="skip the interprocedural dataflow rules (RL007-RL009); "
-        "used to lint trees (tests/, benchmarks/) where whole-program "
-        "taint/protocol analysis does not apply",
+        help="skip the interprocedural rules (RL007-RL012: dataflow and "
+        "concurrency); used to lint trees (tests/, benchmarks/) where "
+        "whole-program taint/thread analysis does not apply",
     )
     parser.add_argument(
         "--list-rules",
@@ -83,7 +83,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.no_dataflow:
         import repro.analysis.rules  # noqa: F401  (registers the rule set)
 
-        dataflow_ids = {"RL007", "RL008", "RL009"}
+        dataflow_ids = {"RL007", "RL008", "RL009", "RL010", "RL011", "RL012"}
         rules = [r for r in (rules or all_rule_ids()) if r not in dataflow_ids]
 
     try:

@@ -522,6 +522,8 @@ class BareLenDivisor(Rule):
                 )
 
 
-# The interprocedural rules (RL007-RL009) live in their own module but
-# register through the same registry; importing either module loads both.
+# The interprocedural rules (RL007-RL009, RL010-RL012) live in their own
+# modules but register through the same registry; importing any of the
+# rule modules loads them all.
 from repro.analysis import rules_dataflow  # noqa: E402, F401
+from repro.analysis import rules_concurrency  # noqa: E402, F401

@@ -1,0 +1,111 @@
+"""Concurrency rules RL010–RL012, built on :mod:`repro.analysis.concurrency`.
+
+Like RL007–RL009 these are whole-project rules (thread roots and their
+reachable callees cross files), so they run in :meth:`Rule.finish` over
+the shared :class:`~repro.analysis.dataflow.ProjectIndex` — the same
+one-index-per-run cache as :mod:`repro.analysis.rules_dataflow`.
+
+Reporting scope: RL010 fires only under ``federated/`` (that is where
+the executor/engine thread split lives — the analysis itself spans the
+whole tree so roots and callees resolve), RL012 uses the aggregation
+scope shared with RL007/RL008, and RL011 reports everywhere (any file
+may touch a clock).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.concurrency import (
+    ClockMonotonicityAnalysis,
+    HappensBeforeAnalysis,
+    ScheduleTaintAnalysis,
+)
+from repro.analysis.lint import ProjectContext, Rule, Violation, register_rule
+from repro.analysis.rules_dataflow import _in_scope, _index_for
+
+
+def _in_federated(display: str) -> bool:
+    return "federated" in Path(display).parts
+
+
+@register_rule
+class UnsynchronizedSharedField(Rule):
+    id = "RL010"
+    name = "no-unsynchronized-shared-field"
+    rationale = (
+        "Fields written on executor worker threads and read on the "
+        "engine thread race unless both sides hold a common lock or the "
+        "access declares its discipline with `# guarded-by(...)`. The "
+        "happens-before model knows spawn (`executor.map`/`submit`/"
+        "`threading.Thread`), the join barrier a blocking map implies, "
+        "constructor ordering, and per-task ownership of the mapped item "
+        "— everything else shared between thread contexts must be "
+        "synchronized explicitly."
+    )
+
+    def finish(self, project: ProjectContext) -> Iterable[Violation]:
+        analysis = HappensBeforeAnalysis(_index_for(project))
+        for f in analysis.races():
+            if not _in_federated(f.path):
+                continue
+            w_kind = "written" if f.worker.is_write else "read"
+            m_kind = "written" if f.main.is_write else "read"
+            yield self.violation(
+                f.path,
+                f.line,
+                f"`{f.cls}.{f.attr}` is {w_kind} on an executor thread "
+                f"(in `{f.worker.func}`) and {m_kind} on the engine "
+                f"thread at {f.main.path}:{f.main.line} (in "
+                f"`{f.main.func}`) with no common lock; hold one lock on "
+                "both sides or declare the discipline with "
+                "`# guarded-by(<lock or barrier>)`",
+            )
+
+
+@register_rule
+class ClockMonotonicity(Rule):
+    id = "RL011"
+    name = "clock-monotonicity"
+    rationale = (
+        "Virtual time only moves forward: `VirtualClock.advance_to` "
+        "raises on regression, but only on the schedule that actually "
+        "runs. Statically, no arithmetic may move a `Clock` reading "
+        "backwards on its way into an advancing call or an event-heap "
+        "timestamp key — deadlines are `now() + delay`, never "
+        "`deadline - now()` fed back into the clock."
+    )
+
+    def finish(self, project: ProjectContext) -> Iterable[Violation]:
+        analysis = ClockMonotonicityAnalysis(_index_for(project))
+        for f in analysis.run():
+            yield self.violation(f.path, f.line, f.message)
+
+
+@register_rule
+class ScheduleDependentAggregation(Rule):
+    id = "RL012"
+    name = "order-insensitive-aggregation"
+    rationale = (
+        "Reports leave the event heap in arrival order, which the "
+        "schedule controls; float reduction is not associative, so "
+        "aggregating a pop-ordered sequence makes the global model "
+        "schedule-dependent. Aggregation inputs must pass through an "
+        "order-insensitive reducer first — a canonical `sorted(...)` or "
+        "`staleness_weights` weighting — as `fold_arrivals` does."
+    )
+
+    def finish(self, project: ProjectContext) -> Iterable[Violation]:
+        analysis = ScheduleTaintAnalysis(_index_for(project))
+        for f in analysis.run():
+            if not _in_scope(f.path):
+                continue
+            yield self.violation(
+                f.path,
+                f.line,
+                f"aggregation sink `{f.sink}` consumes a pop-ordered "
+                f"input ({f.source}); impose a canonical order "
+                "(`sorted(...)`) or order-insensitive weighting "
+                "(`staleness_weights`) before reducing",
+            )

@@ -68,7 +68,9 @@ _LATENCY_STREAM = 0x1A7E
 __all__ = [
     "AsyncRoundEngine",
     "ClientLatencyModel",
+    "FoldResult",
     "PendingReport",
+    "fold_arrivals",
     "proximal_correction",
     "quorum_target",
     "staleness_weights",
@@ -203,6 +205,76 @@ class _ClientUpdate:
     base_version: int
 
 
+@dataclass(frozen=True)
+class FoldResult:
+    """Outcome of :func:`fold_arrivals` — the model plus the bookkeeping."""
+
+    new_global: Optional[StateDict]
+    #: cids whose payload was quarantined (non-finite), in cid order.
+    quarantined: Tuple[int, ...]
+    #: cids discarded as over-stale, in cid order.
+    discarded: Tuple[int, ...]
+    #: ``(cid, staleness)`` of every update that entered the average.
+    kept: Tuple[Tuple[int, int], ...]
+
+
+def fold_arrivals(
+    arrivals: Sequence[_ClientUpdate],
+    version: int,
+    global_state: Optional[StateDict],
+    *,
+    max_staleness: int,
+    decay: float,
+    mu: float,
+    sample_weighted: bool,
+    quarantine_nonfinite: bool = True,
+) -> FoldResult:
+    """Order-insensitive staleness-weighted FedAvg over one round's arrivals.
+
+    This is the pure reduction the engine's ``_aggregate`` wraps: a pure
+    function of the arrival *set* — the first thing it does is sort by
+    client id, so any permutation of ``arrivals`` (network reordering,
+    heap-pop order, executor interleaving) produces a bitwise-identical
+    result.  That invariant is what lint rule RL012 demands of every
+    aggregation path, what the hypothesis property in
+    ``tests/federated/test_staleness.py`` pins, and what the model
+    checker re-verifies dynamically over explored schedules.
+
+    NaN payloads are quarantined (their ``n_i`` leaves the denominator),
+    updates staler than ``max_staleness`` are discarded, and when every
+    survivor has zero staleness the fold takes the *identical*
+    ``fedavg`` call the barrier trainer takes.
+    """
+    kept: List[Tuple[_ClientUpdate, int]] = []
+    quarantined: List[int] = []
+    discarded: List[int] = []
+    for update in sorted(arrivals, key=lambda u: u.cid):
+        stale = version - update.base_version
+        if quarantine_nonfinite and not payload_is_finite(update.state):
+            quarantined.append(update.cid)
+            continue
+        if stale > max_staleness:
+            discarded.append(update.cid)
+            continue
+        kept.append((update, stale))
+    kept_meta = tuple((u.cid, stale) for u, stale in kept)
+    if not kept:
+        return FoldResult(None, tuple(quarantined), tuple(discarded), kept_meta)
+    if all(stale == 0 for _, stale in kept):
+        states = [u.state for u, _ in kept]
+        weights = [u.num_train for u, _ in kept] if sample_weighted else None
+        new_global = fedavg(states, weights)
+    else:
+        states = [
+            proximal_correction(u.state, global_state, stale, mu)
+            for u, stale in kept
+        ]
+        counts = [float(u.num_train) if sample_weighted else 1.0 for u, _ in kept]
+        lam = staleness_weights(counts, [stale for _, stale in kept], decay)
+        new_global = fedavg(states, lam.tolist())
+    return FoldResult(new_global, tuple(quarantined), tuple(discarded), kept_meta)
+
+
 class AsyncRoundEngine:
     """Quorum-aggregating event loop replacing ``_run_rounds``.
 
@@ -310,9 +382,17 @@ class AsyncRoundEngine:
         if self.version == 0 and self.global_state is None:
             # Post-broadcast consensus state W₀ (every client holds it).
             self.global_state = trainer.clients[0].get_state()
+        ctrl = self.clock.controller
         for round_idx in range(trainer._start_round, cfg.max_rounds):
+            if ctrl is not None:
+                ctrl.on_yield("async.round", round=round_idx, engine=self)
             stop = self._run_round(round_idx, verbose)
             trainer._maybe_checkpoint(round_idx)
+            if ctrl is not None:
+                # Checkpoint boundary: the heap, version and clock are
+                # exactly what state_dict() serializes — the checker
+                # snapshots here to assert resume equivalence.
+                ctrl.on_yield("async.checkpoint", round=round_idx, engine=self)
             if stop:
                 return
 
@@ -464,8 +544,7 @@ class AsyncRoundEngine:
             "async.quorum_wait", round=round_idx, phase="train", needed=needed
         ) as sp:
             while len(arrivals) < needed and self._heap:
-                _, _, report = heapq.heappop(self._heap)
-                self.clock.advance_to(report.time)
+                report = self._next_report()
                 del self._in_flight[report.cid]
                 update = self._complete(report)
                 if update is not None:
@@ -475,6 +554,31 @@ class AsyncRoundEngine:
         if reg.enabled:
             reg.histogram("async.quorum_wait_vs").observe(self.clock.now() - wait_t0)
         return arrivals
+
+    def _next_report(self) -> PendingReport:
+        """Pop the next arrival — the engine's schedule-controller yield point.
+
+        Uncontrolled (the production path), this is a plain heap pop in
+        virtual-arrival order.  With a controller attached to the clock
+        (only the model checker does), the controller picks *which*
+        pending report arrives next from the whole in-flight set — an
+        out-of-order choice models network reordering, so the clock
+        advances to ``max(report.time, now)``: a message can arrive late,
+        never before it was sent.  Virtual time stays monotone either
+        way (rule RL011's runtime counterpart).
+        """
+        ctrl = self.clock.controller
+        if ctrl is None:
+            _, _, report = heapq.heappop(self._heap)
+            self.clock.advance_to(report.time)
+            return report
+        ready = [r for _, _, r in sorted(self._heap)]
+        report = ready[ctrl.choose("async.pop", ready)]
+        self._heap.remove((report.time, report.seq, report))
+        heapq.heapify(self._heap)
+        self.clock.advance_to(max(report.time, self.clock.now()))
+        ctrl.on_yield("async.pop", report=report, engine=self)
+        return report
 
     def _complete(self, report: PendingReport) -> Optional[_ClientUpdate]:
         """Run the popped client's local epochs and take its upload."""
@@ -529,47 +633,37 @@ class AsyncRoundEngine:
     def _aggregate(self, arrivals: List[_ClientUpdate]) -> Optional[StateDict]:
         """Staleness-weighted FedAvg over this round's arrivals.
 
-        Client-id order (the barrier engine's aggregation order), NaN
-        quarantine with the client's ``n_i`` removed from the
-        denominator, over-stale updates discarded.  When every survivor
-        has zero staleness this is the *same* ``fedavg`` call — same
-        weights list, same float ops — the barrier trainer makes.
+        The math lives in :func:`fold_arrivals` — a pure, permutation-
+        invariant reduction (client-id order, the barrier engine's
+        aggregation order); this wrapper applies its quarantine verdicts
+        to the trainer and meters the staleness telemetry.  When every
+        survivor has zero staleness the fold takes the *same* ``fedavg``
+        call — same weights list, same float ops — the barrier trainer
+        makes.
         """
         trainer = self.trainer
         cfg = trainer.config
         reg = get_registry()
-        kept: List[Tuple[_ClientUpdate, int]] = []
-        for update in sorted(arrivals, key=lambda u: u.cid):
-            stale = self.version - update.base_version
-            if cfg.quarantine_nonfinite and not payload_is_finite(update.state):
-                trainer._quarantine(trainer.clients[update.cid])
-                continue
-            if stale > cfg.max_staleness:
-                if reg.enabled:
-                    reg.counter("async.discarded_stale").inc()
-                continue
-            if reg.enabled:
-                reg.histogram("async.staleness", client=update.cid).observe(stale)
+        result = fold_arrivals(
+            arrivals,
+            self.version,
+            self.global_state,
+            max_staleness=cfg.max_staleness,
+            decay=cfg.staleness_decay,
+            mu=cfg.prox_mu,
+            sample_weighted=cfg.sample_weighted,
+            quarantine_nonfinite=cfg.quarantine_nonfinite,
+        )
+        for cid in result.quarantined:
+            trainer._quarantine(trainer.clients[cid])
+        if reg.enabled:
+            for _ in result.discarded:
+                reg.counter("async.discarded_stale").inc()
+            for cid, stale in result.kept:
+                reg.histogram("async.staleness", client=cid).observe(stale)
                 if stale > 0:
                     reg.counter("async.late_updates").inc()
-            kept.append((update, stale))
-        if not kept:
-            return None
-        if all(stale == 0 for _, stale in kept):
-            states = [u.state for u, _ in kept]
-            weights = (
-                [u.num_train for u, _ in kept] if cfg.sample_weighted else None
-            )
-            return fedavg(states, weights)
-        states = [
-            proximal_correction(u.state, self.global_state, stale, cfg.prox_mu)
-            for u, stale in kept
-        ]
-        counts = [
-            float(u.num_train) if cfg.sample_weighted else 1.0 for u, _ in kept
-        ]
-        lam = staleness_weights(counts, [stale for _, stale in kept], cfg.staleness_decay)
-        return fedavg(states, lam.tolist())
+        return result.new_global
 
     def _push_model(self, new_global: StateDict) -> None:
         """Distribute the new global model to every idle client.

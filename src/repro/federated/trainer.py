@@ -203,6 +203,10 @@ class FederatedTrainer:
                 per_client_protocol=self.config.engine == "async",
             )
             self.sanitizer.attach_communicator(self.comm)
+            # Yield-point shims (no-ops unless the session carries a
+            # schedule controller — only the model checker does).
+            self.sanitizer.attach_clock(self.clock)
+            self.sanitizer.attach_executor(self.executor)
         else:
             self.sanitizer = None
         self.history = TrainingHistory()

@@ -1,0 +1,29 @@
+"""RL010 fixture: worker-thread field writes racing engine-thread reads."""
+import threading
+
+
+class Engine:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.pool = Pool()  # noqa: F821 — never executed, AST only
+        self.progress = 0
+        self.safe_count = 0
+        self.barrier_flag = 0
+        self.noisy = 0
+
+    def launch(self, items):
+        def task(item):
+            self.progress += 1  # VIOLATION: unlocked write on worker thread
+            with self.lock:
+                self.safe_count += 1  # ok: common lock with report()
+            # guarded-by(round-barrier)
+            self.barrier_flag = item  # ok: declared discipline
+            self.noisy += 1  # repro-lint: disable=RL010
+            return item
+
+        return self.pool.map(task, items)
+
+    def report(self):
+        with self.lock:
+            ok = self.safe_count
+        return self.progress + ok + self.barrier_flag + self.noisy

@@ -1,0 +1,28 @@
+"""RL012 fixture: aggregating reports in heap-pop (schedule) order."""
+import heapq
+
+
+def fedavg(states, weights=None):
+    return states[0]
+
+
+def drain(heap):
+    out = []
+    while heap:
+        _, item = heapq.heappop(heap)
+        out.append(item)
+    return out
+
+
+def racy_aggregate(heap):
+    arrivals = drain(heap)
+    return fedavg(arrivals)  # VIOLATION: pop-ordered float reduction
+
+
+def canonical_aggregate(heap):
+    arrivals = drain(heap)
+    return fedavg(sorted(arrivals))  # ok: canonical order
+
+def suppressed_aggregate(heap):
+    arrivals = drain(heap)
+    return fedavg(arrivals)  # repro-lint: disable=RL012

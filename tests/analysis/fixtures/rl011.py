@@ -1,0 +1,14 @@
+"""RL011 fixture: arithmetic moving a clock reading backwards."""
+import heapq
+
+
+def schedule(clock, heap, delay):
+    start = clock.now()
+    elapsed = clock.now() - start  # ok: a duration, not fed to the clock
+    clock.advance_to(start - delay)  # VIOLATION: rewinds virtual time
+    clock.advance_to(start + delay)  # ok: forward offset
+    heapq.heappush(heap, (start - 1.0, 0, None))  # VIOLATION: heap key rewinds
+    heapq.heappush(heap, (start + 1.0, 1, None))  # ok
+    clock.sleep(-clock.now())  # VIOLATION: negated reading
+    clock.sleep(start - clock.now())  # repro-lint: disable=RL011
+    return elapsed

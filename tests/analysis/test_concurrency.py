@@ -1,0 +1,426 @@
+"""Unit tests for the static happens-before model behind RL010–RL012.
+
+Fixture-level behavior (pinned lines, suppressions, CLI) lives in
+``test_rules.py``; this module pins the analysis semantics those
+fixtures rest on: thread-root discovery, the three-state ownership
+model, lock/guard classification, the join edge, clock-reading
+arithmetic, and schedule-taint laundering.
+"""
+
+import ast
+from pathlib import Path
+
+from repro.analysis import Linter
+from repro.analysis.concurrency import (
+    ClockMonotonicityAnalysis,
+    HappensBeforeAnalysis,
+    ScheduleTaintAnalysis,
+)
+from repro.analysis.dataflow import ProjectIndex
+from repro.analysis.lint import FileContext
+
+
+def index_of(**modules: str) -> ProjectIndex:
+    ctxs = [
+        FileContext(Path(f"{name}.py"), f"{name}.py", src, ast.parse(src))
+        for name, src in modules.items()
+    ]
+    return ProjectIndex(ctxs)
+
+
+def _rl010(src: str):
+    return Linter(rules=["RL010"]).lint_source(src, path="federated/mod.py")
+
+
+def _rl011(src: str):
+    return Linter(rules=["RL011"]).lint_source(src, path="federated/mod.py")
+
+
+def _rl012(src: str):
+    return Linter(rules=["RL012"]).lint_source(src, path="federated/mod.py")
+
+
+ENGINE = """
+import threading
+
+class Pool:
+    def map(self, fn, items):
+        return [fn(i) for i in items]
+
+class Engine:
+    def __init__(self):
+        self.pool = Pool()
+        self.lock = threading.Lock()
+        self.progress = 0
+
+    def launch(self, items):
+        def task(item: Item):
+            item.step()
+            self.progress += 1
+        return self.pool.map(task, items)
+
+    def report(self):
+        return self.progress
+
+class Item:
+    def __init__(self):
+        self.calls = 0
+
+    def step(self):
+        self.calls += 1
+"""
+
+
+class TestThreadRoots:
+    def test_mapped_closure_is_a_shared_item_root(self):
+        hb = HappensBeforeAnalysis(index_of(engine=ENGINE))
+        contexts = hb.compute_contexts()
+        root = "engine.Engine.launch.<task>"
+        assert root in hb.worker_roots
+        assert hb.worker_roots[root] == "engine.Engine.launch"
+        assert contexts[root] == {"shared+item"}
+
+    def test_owned_item_method_runs_in_owned_context(self):
+        hb = HappensBeforeAnalysis(index_of(engine=ENGINE))
+        contexts = hb.compute_contexts()
+        # task's first param is the mapped item; item.step() is owned.
+        assert contexts["engine.Item.step"] == {"owned"}
+
+    def test_closure_self_call_leaves_the_ownership_bubble(self):
+        src = ENGINE + (
+            "\n"
+            "class Caller(Engine):\n"
+            "    def go(self, items):\n"
+            "        def task(item):\n"
+            "            self.helper()\n"
+            "        return self.pool.map(task, items)\n"
+            "    def helper(self):\n"
+            "        return self.progress\n"
+        )
+        hb = HappensBeforeAnalysis(index_of(engine=src))
+        contexts = hb.compute_contexts()
+        # helper is reached through the closure-captured self: shared.
+        assert contexts["engine.Caller.helper"] == {"shared"}
+
+    def test_thread_target_is_a_shared_root(self):
+        src = (
+            "import threading\n"
+            "class Monitor:\n"
+            "    def run(self):\n"
+            "        t = threading.Thread(target=self.poll)\n"
+            "        t.start()\n"
+            "    def poll(self):\n"
+            "        return 1\n"
+        )
+        hb = HappensBeforeAnalysis(index_of(mod=src))
+        contexts = hb.compute_contexts()
+        assert "mod.Monitor.poll" in hb.worker_roots
+        assert contexts["mod.Monitor.poll"] == {"shared"}
+
+    def test_lambda_item_rooted_call_never_degrades_to_shared(self):
+        # `lambda c: c.step()` touches only the owned item; mapping it
+        # must not reclassify Item.step into shared context (the ENGINE
+        # prelude already reaches it as "owned" through `task`).
+        src = ENGINE + (
+            "\n"
+            "class Evaluator(Engine):\n"
+            "    def evaluate(self, items):\n"
+            "        return self.pool.map(lambda c: c.step(), items)\n"
+        )
+        hb = HappensBeforeAnalysis(index_of(engine=src))
+        contexts = hb.compute_contexts()
+        assert "shared" not in contexts.get("engine.Item.step", set())
+
+    def test_lambda_closure_call_is_shared(self):
+        src = ENGINE + (
+            "\n"
+            "class Evaluator(Engine):\n"
+            "    def evaluate(self, items):\n"
+            "        return self.pool.map(lambda c: self.tally(c), items)\n"
+            "    def tally(self, c):\n"
+            "        self.progress += 1\n"
+        )
+        hb = HappensBeforeAnalysis(index_of(engine=src))
+        contexts = hb.compute_contexts()
+        assert "shared" in contexts["engine.Evaluator.tally"]
+
+    def test_monitor_hook_methods_are_shared_roots(self):
+        src = (
+            "class Probe:\n"
+            "    def __init__(self):\n"
+            "        self.events = []\n"
+            "    def on_event(self, ev):\n"
+            "        self.events.append(ev)\n"
+            "class Comm:\n"
+            "    def __init__(self):\n"
+            "        self._monitor = None\n"
+            "class Session:\n"
+            "    def attach(self, comm):\n"
+            "        probe = Probe()\n"
+            "        comm._monitor = probe\n"
+        )
+        hb = HappensBeforeAnalysis(index_of(mod=src))
+        contexts = hb.compute_contexts()
+        assert contexts.get("mod.Probe.on_event") == {"shared"}
+
+    def test_non_executor_receiver_is_not_a_spawn(self):
+        src = (
+            "class C:\n"
+            "    def go(self, items):\n"
+            "        def task(item):\n"
+            "            return item\n"
+            "        return self.registry.map(task, items)\n"
+        )
+        hb = HappensBeforeAnalysis(index_of(mod=src))
+        hb.compute_contexts()
+        assert hb.worker_roots == {}
+
+
+class TestRacePairing:
+    def test_unsynchronized_worker_write_vs_main_read_fires(self):
+        report = _rl010(ENGINE)
+        assert [v.line for v in report.violations] == [17]
+        (v,) = report.violations
+        assert "Engine.progress" in v.message and "guarded-by" in v.message
+
+    def test_common_lock_synchronizes(self):
+        src = ENGINE.replace(
+            "            self.progress += 1",
+            "            with self.lock:\n                self.progress += 1",
+        ).replace(
+            "        return self.progress",
+            "        with self.lock:\n            return self.progress",
+        )
+        assert _rl010(src).ok
+
+    def test_guarded_by_annotation_on_either_side_accepted(self):
+        src = ENGINE.replace(
+            "            self.progress += 1",
+            "            # guarded-by(round-barrier)\n            self.progress += 1",
+        )
+        assert _rl010(src).ok
+
+    def test_spawning_function_access_is_join_ordered(self):
+        # The engine-side read lives in launch() itself — ordered by the
+        # blocking map — and report() is deleted: no race pair remains.
+        src = ENGINE.replace(
+            "    def report(self):\n        return self.progress\n",
+            "",
+        ).replace(
+            "        return self.pool.map(task, items)",
+            "        out = self.pool.map(task, items)\n"
+            "        return out, self.progress",
+        )
+        assert _rl010(src).ok
+
+    def test_owned_item_fields_never_pair(self):
+        # Item.calls is mutated in owned context only: task-private.
+        report = _rl010(ENGINE)
+        assert all("Item.calls" not in v.message for v in report.violations)
+
+    def test_constructor_writes_exempt(self):
+        hb = HappensBeforeAnalysis(index_of(engine=ENGINE))
+        assert all(a.func.split(".")[-1] != "__init__" for a in hb.field_accesses())
+
+    def test_lock_attribute_accesses_not_recorded(self):
+        hb = HappensBeforeAnalysis(index_of(engine=ENGINE))
+        assert all("lock" not in a.attr for a in hb.field_accesses())
+
+    def test_real_tree_has_no_races(self):
+        root = Path(__file__).resolve().parents[2]
+        report = Linter(rules=["RL010"], root=root).lint_paths([str(root / "src")])
+        assert report.ok, [v.message for v in report.violations]
+
+
+class TestClockMonotonicity:
+    def test_forward_offset_clean(self):
+        src = (
+            "def f(clock, delay):\n"
+            "    start = clock.now()\n"
+            "    clock.advance_to(start + delay)\n"
+        )
+        assert _rl011(src).ok
+
+    def test_duration_between_readings_clean(self):
+        # t1 - t0 is a duration; it never reaches an advancing call.
+        src = (
+            "def f(clock):\n"
+            "    t0 = clock.now()\n"
+            "    t1 = clock.now()\n"
+            "    return t1 - t0\n"
+        )
+        assert _rl011(src).ok
+
+    def test_subtracted_reading_into_advance_fires(self):
+        src = (
+            "def f(clock, delay):\n"
+            "    start = clock.now()\n"
+            "    clock.advance_to(start - delay)\n"
+        )
+        assert [v.line for v in _rl011(src).violations] == [3]
+
+    def test_direct_now_call_subtraction_fires(self):
+        src = "def f(clock):\n    clock.sleep(-clock.now())\n"
+        assert not _rl011(src).ok
+
+    def test_non_clock_receiver_ignored(self):
+        src = (
+            "def f(budget, clock):\n"
+            "    start = clock.now()\n"
+            "    budget.advance_to(start - 1.0)\n"
+        )
+        assert _rl011(src).ok
+
+    def test_heappush_key_checked_through_tuple(self):
+        src = (
+            "import heapq\n"
+            "def f(heap, clock):\n"
+            "    start = clock.now()\n"
+            "    heapq.heappush(heap, (start - 1.0, 0))\n"
+        )
+        assert not _rl011(src).ok
+
+    def test_heappush_payload_subtraction_is_fine(self):
+        # Only the timestamp key (first tuple element) is constrained.
+        src = (
+            "import heapq\n"
+            "def f(heap, clock):\n"
+            "    start = clock.now()\n"
+            "    heapq.heappush(heap, (start + 1.0, start - 0.5))\n"
+        )
+        assert _rl011(src).ok
+
+    def test_analysis_runs_clean_on_real_tree(self):
+        root = Path(__file__).resolve().parents[2]
+        report = Linter(rules=["RL011"], root=root).lint_paths([str(root / "src")])
+        assert report.ok, [v.message for v in report.violations]
+
+
+SCHED_PRELUDE = (
+    "import heapq\n"
+    "def fedavg(states, weights=None):\n"
+    "    return states[0]\n"
+)
+
+
+class TestScheduleTaint:
+    def test_heappop_accumulation_reaches_sink(self):
+        src = SCHED_PRELUDE + (
+            "def agg(heap):\n"
+            "    out = []\n"
+            "    while heap:\n"
+            "        out.append(heapq.heappop(heap))\n"
+            "    return fedavg(out)\n"
+        )
+        report = _rl012(src)
+        assert len(report.violations) == 1
+        assert "pop-ordered" in report.violations[0].message
+
+    def test_sorted_launders(self):
+        src = SCHED_PRELUDE + (
+            "def agg(heap):\n"
+            "    out = []\n"
+            "    while heap:\n"
+            "        out.append(heapq.heappop(heap))\n"
+            "    return fedavg(sorted(out))\n"
+        )
+        assert _rl012(src).ok
+
+    def test_staleness_weights_cleanser(self):
+        src = SCHED_PRELUDE + (
+            "def staleness_weights(counts, stale, decay):\n"
+            "    return counts\n"
+            "def agg(heap, states):\n"
+            "    stale = []\n"
+            "    while heap:\n"
+            "        stale.append(heapq.heappop(heap))\n"
+            "    lam = staleness_weights([1.0], stale, 0.5)\n"
+            "    return fedavg(states, lam)\n"
+        )
+        assert _rl012(src).ok
+
+    def test_taint_crosses_return_hop(self):
+        src = SCHED_PRELUDE + (
+            "def drain(heap):\n"
+            "    out = []\n"
+            "    while heap:\n"
+            "        out.append(heapq.heappop(heap))\n"
+            "    return out\n"
+            "def agg(heap):\n"
+            "    return fedavg(drain(heap))\n"
+        )
+        assert not _rl012(src).ok
+
+    def test_tuple_unpack_carries_pop_taint(self):
+        src = SCHED_PRELUDE + (
+            "def agg(heap):\n"
+            "    out = []\n"
+            "    while heap:\n"
+            "        _, _, report = heapq.heappop(heap)\n"
+            "        out.append(report)\n"
+            "    return fedavg(out)\n"
+        )
+        assert not _rl012(src).ok
+
+    def test_self_attr_store_carries_taint(self):
+        src = SCHED_PRELUDE + (
+            "class Engine:\n"
+            "    def drain(self, heap):\n"
+            "        self.arrivals = [heapq.heappop(heap)]\n"
+            "    def agg(self):\n"
+            "        return fedavg(self.arrivals)\n"
+        )
+        assert not _rl012(src).ok
+
+    def test_resolved_wrapper_that_launders_internally_passes(self):
+        # `aggregate`-named wrapper whose body sorts: the soft sink is
+        # skipped because the callee resolves and is analyzed inside.
+        src = SCHED_PRELUDE + (
+            "def my_aggregate(arrivals):\n"
+            "    return fedavg(sorted(arrivals))\n"
+            "def run(heap):\n"
+            "    out = []\n"
+            "    while heap:\n"
+            "        out.append(heapq.heappop(heap))\n"
+            "    return my_aggregate(out)\n"
+        )
+        assert _rl012(src).ok
+
+    def test_resolved_wrapper_that_forwards_is_caught_inside(self):
+        src = SCHED_PRELUDE + (
+            "def my_aggregate(arrivals):\n"
+            "    return fedavg(arrivals)\n"
+            "def run(heap):\n"
+            "    out = []\n"
+            "    while heap:\n"
+            "        out.append(heapq.heappop(heap))\n"
+            "    return my_aggregate(out)\n"
+        )
+        report = _rl012(src)
+        assert [v.line for v in report.violations] == [5]  # inside the wrapper
+
+    def test_out_of_scope_path_not_reported(self):
+        src = SCHED_PRELUDE + (
+            "def agg(heap):\n"
+            "    out = []\n"
+            "    while heap:\n"
+            "        out.append(heapq.heappop(heap))\n"
+            "    return fedavg(out)\n"
+        )
+        assert Linter(rules=["RL012"]).lint_source(src, path="gnn/agg.py").ok
+
+    def test_fixpoint_converges_on_real_tree(self):
+        root = Path(__file__).resolve().parents[2]
+        report = Linter(rules=["RL012"], root=root).lint_paths([str(root / "src")])
+        assert report.ok, [v.message for v in report.violations]
+
+
+class TestSanitizeAnnotationHonored:
+    def test_protocol_monitor_guard_annotation_present(self):
+        # The one benign cross-thread read the pass found is declared,
+        # not silenced: the annotation documents the caller-held lock.
+        src_file = (
+            Path(__file__).resolve().parents[2]
+            / "src" / "repro" / "analysis" / "sanitize.py"
+        )
+        assert "guarded-by(self._lock, held by caller)" in src_file.read_text()

@@ -80,7 +80,7 @@ class TestSuppressions:
 # engine mechanics
 # ----------------------------------------------------------------------
 class TestEngine:
-    def test_all_nine_rules_registered(self):
+    def test_all_twelve_rules_registered(self):
         assert all_rule_ids() == [
             "RL001",
             "RL002",
@@ -91,6 +91,9 @@ class TestEngine:
             "RL007",
             "RL008",
             "RL009",
+            "RL010",
+            "RL011",
+            "RL012",
         ]
         for rid, cls in RULE_REGISTRY.items():
             assert cls.id == rid and cls.name and cls.rationale

@@ -32,6 +32,9 @@ CASES = [
     ("RL006", FIXTURES / "federated" / "rl006.py", [5], 1),
     ("RL008", FIXTURES / "core" / "rl008.py", [20], 1),
     ("RL009", FIXTURES / "rl009.py", [17], 1),
+    ("RL010", FIXTURES / "federated" / "rl010.py", [16], 1),
+    ("RL011", FIXTURES / "rl011.py", [8, 10, 12], 1),
+    ("RL012", FIXTURES / "federated" / "rl012.py", [19], 1),
 ]
 
 

@@ -28,6 +28,7 @@ from repro.federated import (
     quorum_target,
     staleness_weights,
 )
+from repro.federated.async_engine import _ClientUpdate, fold_arrivals
 
 counts_st = st.lists(
     st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=12
@@ -214,3 +215,84 @@ class TestQuarantineDenominator:
         clean = fedavg(kept_states, kept_counts)["w"]
         np.testing.assert_allclose(merged, clean, atol=1e-12)
         assert np.isfinite(merged).all()
+
+
+@st.composite
+def arrival_sets(draw, max_staleness=0):
+    """Distinct-cid _ClientUpdate lists plus a permutation of them."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    version = draw(st.integers(min_value=max_staleness, max_value=max_staleness + 3))
+    updates = []
+    for cid in range(n):
+        state = {
+            "w": draw(hnp.arrays(np.float64, (2, 3), elements=finite)),
+            "b": draw(hnp.arrays(np.float64, (3,), elements=finite)),
+        }
+        stale = draw(st.integers(min_value=0, max_value=max_staleness))
+        updates.append(
+            _ClientUpdate(
+                cid=cid,
+                state=state,
+                num_train=draw(st.integers(min_value=1, max_value=50)),
+                base_version=version - stale,
+            )
+        )
+    perm = draw(st.permutations(list(range(n))))
+    return updates, [updates[i] for i in perm], version
+
+
+class TestFoldArrivalsPermutationInvariance:
+    """RL012's dynamic contract: the fold is a pure function of the *set*.
+
+    The model checker re-verifies this end-to-end over explored
+    schedules; these properties pin the reduction itself, bitwise.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(arrival_sets(max_staleness=0))
+    def test_same_arrival_time_reports_commute_bitwise(self, drawn):
+        # All-zero staleness — the regime of same-arrival-time reports at
+        # full quorum: any pop order must take the identical fedavg call.
+        original, permuted, version = drawn
+        a = fold_arrivals(
+            original, version, None,
+            max_staleness=8, decay=0.5, mu=0.1, sample_weighted=True,
+        )
+        b = fold_arrivals(
+            permuted, version, None,
+            max_staleness=8, decay=0.5, mu=0.1, sample_weighted=True,
+        )
+        assert a.kept == b.kept
+        assert a.new_global is not None
+        for k in a.new_global:
+            assert np.array_equal(a.new_global[k], b.new_global[k])
+        ref = fedavg(
+            [u.state for u in sorted(original, key=lambda u: u.cid)],
+            [u.num_train for u in sorted(original, key=lambda u: u.cid)],
+        )
+        for k in ref:
+            assert np.array_equal(a.new_global[k], ref[k])
+
+    @settings(max_examples=60, deadline=None)
+    @given(arrival_sets(max_staleness=5))
+    def test_stale_mix_still_permutation_invariant(self, drawn):
+        original, permuted, version = drawn
+        global_state = {
+            "w": np.zeros((2, 3)),
+            "b": np.zeros(3),
+        }
+        a = fold_arrivals(
+            original, version, global_state,
+            max_staleness=3, decay=0.7, mu=0.1, sample_weighted=True,
+        )
+        b = fold_arrivals(
+            permuted, version, global_state,
+            max_staleness=3, decay=0.7, mu=0.1, sample_weighted=True,
+        )
+        assert a.kept == b.kept
+        assert a.quarantined == b.quarantined and a.discarded == b.discarded
+        if a.new_global is None:
+            assert b.new_global is None
+        else:
+            for k in a.new_global:
+                assert np.array_equal(a.new_global[k], b.new_global[k])
