@@ -1,0 +1,148 @@
+"""Symbolic cost oracle: aggregate, evaluate, and cross-check costs.
+
+The static interpreter (:mod:`repro.analysis.shapes`) emits one
+:class:`~repro.analysis.shapes.Record` per abstract op, with FLOP/byte
+expressions built from the *same* :mod:`repro.autograd.signatures`
+formulas the runtime ``CostCollector`` evaluates on real ndarrays.  This
+module turns those records into the collector's own key space —
+``(op, dir, phase, client, layer, backend)`` — so a test (and the CI
+``shapes`` job) can assert **exact numeric equality** between the
+predicted table and the counters measured on an instrumented run:
+
+    predicted = evaluate_aggregate(aggregate(report.records,
+                                             phase="local_train",
+                                             client="0"),
+                                   bindings)
+    measured  = measured_cost_table(registry)
+    assert not compare(predicted, measured)
+
+Divergence here means the runtime cost model and the static oracle no
+longer share formulas (RL015's dynamic complement).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.shapes import Dim, DimLike, Record, as_dim
+
+#: One collector counter key: (op, dir, phase, client, layer, backend).
+Key = Tuple[str, str, str, str, str, str]
+
+
+def aggregate(
+    records: Iterable[Record], phase: str = "-", client: str = "-"
+) -> Dict[Key, Tuple[Dim, Dim]]:
+    """Sum symbolic records into collector-keyed (flops, bytes) pairs.
+
+    ``phase`` / ``client`` stand in for the tracer-span attribution the
+    static side cannot observe — pass the values the instrumented run
+    uses so the key spaces line up.
+    """
+    out: Dict[Key, Tuple[Dim, Dim]] = {}
+    for r in records:
+        key: Key = (r.op, r.direction, phase, client, r.layer, r.backend)
+        flops, moved = out.get(key, (Dim.const(0), Dim.const(0)))
+        out[key] = (flops + r.flops, moved + r.bytes_moved)
+    return out
+
+
+def evaluate_aggregate(
+    agg: Dict[Key, Tuple[DimLike, DimLike]], bindings: Dict[str, int]
+) -> Dict[Key, Tuple[int, int]]:
+    """Evaluate every symbolic pair under concrete dimension bindings."""
+    out: Dict[Key, Tuple[int, int]] = {}
+    for key, (flops, moved) in agg.items():
+        out[key] = (
+            as_dim(flops).evaluate(bindings),
+            as_dim(moved).evaluate(bindings),
+        )
+    return out
+
+
+def measured_cost_table(registry) -> Dict[Key, Tuple[int, int]]:
+    """The runtime collector's counters in the same key space.
+
+    Reads ``cost.flops`` / ``cost.bytes`` counters out of a
+    :class:`~repro.obs.metrics.MetricsRegistry`; a key missing one of the
+    pair reports 0 for it (the collector always creates both together).
+    """
+    flops: Dict[Key, int] = {}
+    moved: Dict[Key, int] = {}
+    for counter in list(registry._metrics.values()):
+        name = getattr(counter, "name", "")
+        if name not in ("cost.flops", "cost.bytes"):
+            continue
+        tags = counter.tags
+        key: Key = (
+            str(tags.get("op", "-")),
+            str(tags.get("dir", "-")),
+            str(tags.get("phase", "-")),
+            str(tags.get("client", "-")),
+            str(tags.get("layer", "-")),
+            str(tags.get("backend", "-")),
+        )
+        target = flops if name == "cost.flops" else moved
+        target[key] = target.get(key, 0) + int(counter.value)
+    out: Dict[Key, Tuple[int, int]] = {}
+    for key in set(flops) | set(moved):
+        out[key] = (flops.get(key, 0), moved.get(key, 0))
+    return out
+
+
+def compare(
+    predicted: Dict[Key, Tuple[int, int]],
+    measured: Dict[Key, Tuple[int, int]],
+    ignore_zero: bool = True,
+) -> List[str]:
+    """Human-readable diffs between predicted and measured tables.
+
+    Empty list means exact agreement.  With ``ignore_zero`` (default),
+    keys whose pair is (0, 0) on the side that has them and absent on
+    the other are not diffs — the static side records zero-kind ops the
+    runtime also records as zeros, so this only forgives all-zero rows.
+    """
+    diffs: List[str] = []
+
+    def _fmt(key: Key) -> str:
+        return "op={} dir={} phase={} client={} layer={} backend={}".format(*key)
+
+    for key in sorted(set(predicted) | set(measured)):
+        p = predicted.get(key)
+        m = measured.get(key)
+        if p is None:
+            if ignore_zero and m == (0, 0):
+                continue
+            diffs.append(f"measured-only {_fmt(key)}: flops={m[0]} bytes={m[1]}")
+        elif m is None:
+            if ignore_zero and p == (0, 0):
+                continue
+            diffs.append(f"predicted-only {_fmt(key)}: flops={p[0]} bytes={p[1]}")
+        elif p != m:
+            diffs.append(
+                f"mismatch {_fmt(key)}: predicted flops={p[0]} bytes={p[1]} "
+                f"vs measured flops={m[0]} bytes={m[1]}"
+            )
+    return diffs
+
+
+def oracle_check(
+    records: Iterable[Record],
+    registry,
+    bindings: Dict[str, int],
+    phase: str = "-",
+    client: str = "-",
+) -> List[str]:
+    """One-call oracle: predict from records, measure from registry, diff."""
+    predicted = evaluate_aggregate(aggregate(records, phase, client), bindings)
+    return compare(predicted, measured_cost_table(registry))
+
+
+__all__ = [
+    "Key",
+    "aggregate",
+    "evaluate_aggregate",
+    "measured_cost_table",
+    "compare",
+    "oracle_check",
+]

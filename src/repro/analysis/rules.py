@@ -527,3 +527,4 @@ class BareLenDivisor(Rule):
 # rule modules loads them all.
 from repro.analysis import rules_dataflow  # noqa: E402, F401
 from repro.analysis import rules_concurrency  # noqa: E402, F401
+from repro.analysis import rules_tensor  # noqa: E402, F401

@@ -1,0 +1,450 @@
+"""Static tensor rules RL013–RL015, built on :mod:`repro.analysis.shapes`.
+
+One symbolic-interpretation sweep per linter run (cached by project
+identity, like the dataflow index) drives all three rules:
+
+* **RL013** — a shape contract the abstract interpreter *disproved*
+  (the symbolic forward raises :class:`~repro.analysis.shapes.ShapeError`
+  exactly where the runtime forward would raise).
+* **RL014** — a dtype narrowing entering a gradient path: a
+  float32-tainted value reaching a grad-requiring op, or a raw int/bool
+  array silently coerced by ``as_tensor`` inside a tracked op.
+* **RL015** — a cost-model escape: an op the oracle cannot price, either
+  a ``repro.autograd`` call with no declared signature (observed during
+  interpretation) or a raw ``Tensor._make(..., "op")`` literal whose op
+  string is not in the signature table (found syntactically, so it fires
+  even in code the interpreter cannot reach).
+
+Classes the interpreter cannot handle (outside its fragment) are skipped
+silently — these rules only report what they can *prove*, mirroring how
+the runtime would behave on the same inputs.  The index spans the whole
+project plus ``src/repro`` even when only a subtree is linted, so model
+base classes always resolve; findings are still only emitted for linted
+files.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.dataflow import ClassInfo, ProjectIndex
+from repro.analysis.lint import FileContext, ProjectContext, Rule, Violation, register_rule
+from repro.analysis import shapes
+from repro.analysis.shapes import (
+    AbstractArray,
+    AbstractGraph,
+    AbstractSparse,
+    AbstractTensor,
+    Dim,
+    Interpreter,
+    Narrowing,
+    OpaqueRNG,
+    ShapeError,
+    UnknownOp,
+    Unsupported,
+)
+from repro.autograd import signatures as sig
+
+# ----------------------------------------------------------------------
+# heuristic bindings for Module classes without a registered ModelSpec
+# ----------------------------------------------------------------------
+#: __init__ parameter name → dimension symbol.
+NAME_DIMS = {
+    "in_features": "d_in",
+    "num_features": "d_in",
+    "in_dim": "d_in",
+    "out_features": "d_out",
+    "out_dim": "d_out",
+    "num_classes": "c",
+    "features": "d_hidden",
+    "hidden": "d_hidden",
+    "hidden_dim": "d_hidden",
+    "hidden_features": "d_hidden",
+}
+
+#: __init__ parameter name → small concrete count (layer/hop counts stay
+#: concrete so loops unroll).
+NAME_INTS = {
+    "k": 2,
+    "num_layers": 2,
+    "num_hidden": 2,
+    "num_types": 2,
+    "iterations": 2,
+    "layers": 2,
+}
+
+#: forward parameter name → input builder (dims table → abstract value).
+_FORWARD_BUILDERS = {
+    "graph": lambda d: AbstractGraph(d),
+    "g": lambda d: AbstractGraph(d),
+    "data": lambda d: AbstractGraph(d),
+    "s": lambda d: AbstractSparse((d["n"], d["n"]), d["nnz"], fused=True),
+    "s_norm": lambda d: AbstractSparse((d["n"], d["n"]), d["nnz"], fused=True),
+    "adj": lambda d: AbstractSparse((d["n"], d["n"]), d["nnz"], fused=True),
+    "op": lambda d: AbstractSparse((d["n"], d["n"]), d["nnz"], fused=True),
+    "m": lambda d: AbstractSparse((d["n"], d["n"]), d["nnz_mean"], fused=True),
+    "mean_adj": lambda d: AbstractSparse((d["n"], d["n"]), d["nnz_mean"], fused=True),
+    "mean_op": lambda d: AbstractSparse((d["n"], d["n"]), d["nnz_mean"], fused=True),
+    "s_list": lambda d: [
+        AbstractSparse((d["n"], d["n"]), d["nnz"], fused=False),
+        AbstractSparse((d["n"], d["n"]), d["nnz"], fused=False),
+    ],
+    "edges": lambda d: (
+        AbstractArray((d["edges"],), "int64"),
+        AbstractArray((d["edges"],), "int64"),
+    ),
+    "edge_index": lambda d: (
+        AbstractArray((d["edges"],), "int64"),
+        AbstractArray((d["edges"],), "int64"),
+    ),
+    "x": lambda d: AbstractTensor(AbstractArray((d["n"], d["d_in"]))),
+    "inputs": lambda d: AbstractTensor(AbstractArray((d["n"], d["d_in"]))),
+    "h": lambda d: AbstractTensor(AbstractArray((d["n"], d["d_hidden"]))),
+    "z": lambda d: AbstractTensor(AbstractArray((d["n"], d["d_hidden"]))),
+    "hidden": lambda d: AbstractTensor(AbstractArray((d["n"], d["d_hidden"]))),
+}
+
+
+class ClassOutcome:
+    """What one symbolic run of one Module class produced."""
+
+    __slots__ = ("info", "shape_error", "narrowings", "unknown_ops", "skipped")
+
+    def __init__(self, info: ClassInfo) -> None:
+        self.info = info
+        self.shape_error: Optional[ShapeError] = None
+        self.narrowings: List[Narrowing] = []
+        self.unknown_ops: List[UnknownOp] = []
+        self.skipped: Optional[str] = None
+
+
+def _spec_for(qualname: str) -> Optional[shapes.ModelSpec]:
+    for spec in shapes.SPECS.values():
+        if spec.qualname == qualname:
+            return spec
+    return None
+
+
+def _heuristic_init(info: ClassInfo, table: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """__init__ kwargs from parameter names, or None when a required
+    parameter has no recognized binding and no default."""
+    init = info.methods.get("__init__")
+    if init is None:
+        for c in info.mro()[1:]:
+            if "__init__" in c.methods:
+                init = c.methods["__init__"]
+                break
+    if init is None:
+        return {}
+    args = init.node.args
+    n_defaults = len(args.defaults)
+    positional = [*args.posonlyargs, *args.args]
+    kwargs: Dict[str, Any] = {}
+    for i, param in enumerate(positional):
+        if param.arg == "self":
+            continue
+        has_default = i >= len(positional) - n_defaults
+        bound = _bind_param(param.arg, table)
+        if bound is not None:
+            kwargs[param.arg] = bound
+        elif not has_default:
+            return None
+    for param, default in zip(args.kwonlyargs, args.kw_defaults):
+        bound = _bind_param(param.arg, table)
+        if bound is not None:
+            kwargs[param.arg] = bound
+        elif default is None:
+            return None
+    return kwargs
+
+
+def _first_weight_in_dim(module) -> Optional[Any]:
+    """shape[0] of the first registered 2-D weight, walking registration
+    order depth-first (the input width a heuristic ``x`` must match)."""
+    stack = [module]
+    while stack:
+        mod = stack.pop(0)
+        for name, param in mod.params.items():
+            if name == "weight" and len(param.shape) == 2:
+                return param.shape[0]
+        stack = list(mod.modules.values()) + stack
+    return None
+
+
+def _bind_param(name: str, table: Dict[str, Any]) -> Optional[Any]:
+    if name == "rng":
+        return OpaqueRNG()
+    if name in NAME_DIMS:
+        return table[NAME_DIMS[name]]
+    if name in NAME_INTS:
+        return NAME_INTS[name]
+    return None
+
+
+def _heuristic_forward_args(info: ClassInfo, table: Dict[str, Any]) -> Optional[List[Any]]:
+    forward = info.methods.get("forward")
+    if forward is None:
+        return None
+    fargs = forward.node.args
+    n_defaults = len(fargs.defaults)
+    positional = [*fargs.posonlyargs, *fargs.args]
+    out: List[Any] = []
+    for i, param in enumerate(positional):
+        if param.arg == "self":
+            continue
+        builder = _FORWARD_BUILDERS.get(param.arg)
+        if builder is not None:
+            out.append(builder(table))
+        elif i >= len(positional) - n_defaults:
+            break  # defaulted tail the interpreter can fill in
+        else:
+            return None
+    return out
+
+
+class TensorPass:
+    """One interpretation sweep over every Module class in the linted set."""
+
+    def __init__(self, project: ProjectContext) -> None:
+        self.index = _merged_index(project)
+        self.outcomes: List[ClassOutcome] = []
+        linted = {str(ctx.path) for ctx in project.files.values()}
+        linted.update(ctx.display for ctx in project.files.values())
+        probe = Interpreter(self.index)
+        for qualname in sorted(self.index.classes):
+            info = self.index.classes[qualname]
+            if str(info.ctx.path) not in linted and info.ctx.display not in linted:
+                continue
+            if "forward" not in info.methods:
+                continue  # inherited forwards are verified on the base
+            if not probe.is_module_class(info):
+                continue
+            self.outcomes.append(self._run_class(info))
+
+    def _run_class(self, info: ClassInfo) -> ClassOutcome:
+        outcome = ClassOutcome(info)
+        table = shapes._dims_table(None)
+        spec = _spec_for(info.qualname)
+        if spec is not None:
+            kwargs: Optional[Dict[str, Any]] = {}
+            for key, value in spec.init:
+                if value == "rng":
+                    kwargs[key] = OpaqueRNG()
+                elif isinstance(value, str) and value.startswith("sym:"):
+                    kwargs[key] = table[value[4:]]
+                else:
+                    kwargs[key] = value
+            args: Optional[List[Any]] = list(shapes.BUILDERS[spec.builder](table))
+        else:
+            kwargs = _heuristic_init(info, table)
+            args = None  # built after __init__ so weights can pin widths
+        if kwargs is None:
+            outcome.skipped = "no binding for __init__ parameters"
+            return outcome
+
+        interp = Interpreter(self.index)
+        try:
+            module = interp.instantiate(info, (), kwargs)
+            if args is None:
+                # A concrete first-layer weight fixes the input width the
+                # class actually contracts for (e.g. Linear(4, 8) in a
+                # test helper) — symbolic d_in would be a false mismatch.
+                width = _first_weight_in_dim(module)
+                if width is not None:
+                    table = dict(table)
+                    table["d_in"] = width
+                args = _heuristic_forward_args(info, table)
+                if args is None:
+                    outcome.skipped = "no binding for forward parameters"
+                    return outcome
+            result = interp.call_module(module, args, {})
+            for head in shapes._top_level_outputs(result):
+                interp.simulate_backward(head)
+        except ShapeError as err:
+            outcome.shape_error = err
+        except Unsupported as exc:
+            outcome.skipped = str(exc)
+        except Exception as exc:  # robustness: arbitrary linted code
+            outcome.skipped = f"{type(exc).__name__}: {exc}"
+        # Diagnostics gathered before an abort are still real observations.
+        outcome.narrowings = interp.narrowings
+        outcome.unknown_ops = interp.unknown_ops
+        return outcome
+
+
+# [project, TensorPass] of the most recent run — identity-keyed, same
+# rationale as rules_dataflow._INDEX_CACHE.
+_PASS_CACHE: List[object] = []
+
+# Parsed src/repro contexts, once per process (they back every merged
+# index; display = absolute path, same as shapes.default_index()).
+_SRC_CONTEXTS: List[FileContext] = []
+
+
+def _src_contexts() -> List[FileContext]:
+    if _SRC_CONTEXTS:
+        return _SRC_CONTEXTS
+    root = Path(__file__).resolve().parents[1]  # .../src/repro
+    from repro.analysis.lint import iter_python_files
+
+    for path in iter_python_files(root):
+        try:
+            source = path.read_text()
+            tree = ast.parse(source)
+        except (OSError, SyntaxError):
+            continue
+        _SRC_CONTEXTS.append(FileContext(path, str(path), source, tree))
+    return _SRC_CONTEXTS
+
+
+def _merged_index(project: ProjectContext) -> ProjectIndex:
+    """Project files plus ``src/repro`` (so Module/Linear/op definitions
+    resolve even when only tests or fixtures are linted)."""
+    contexts = list(project.files.values())
+    have = {ctx.path.resolve() for ctx in contexts}
+    extra = [ctx for ctx in _src_contexts() if ctx.path.resolve() not in have]
+    if not extra:
+        # The linted set already covers src/repro — share the one index
+        # the dataflow/concurrency rules built for this same project.
+        from repro.analysis.rules_dataflow import _index_for
+
+        return _index_for(project)
+    return ProjectIndex(contexts + extra)
+
+
+def _tensor_pass(project: ProjectContext) -> TensorPass:
+    if _PASS_CACHE and _PASS_CACHE[0] is project:
+        return _PASS_CACHE[1]  # type: ignore[return-value]
+    tp = TensorPass(project)
+    _PASS_CACHE[:] = [project, tp]
+    return tp
+
+
+def _linted_displays(project: ProjectContext) -> Dict[str, str]:
+    """Both spellings of every linted path → the display to report under."""
+    out: Dict[str, str] = {}
+    for ctx in project.files.values():
+        out[str(ctx.path)] = ctx.display
+        out[ctx.display] = ctx.display
+    return out
+
+
+# ----------------------------------------------------------------------
+# the rules
+# ----------------------------------------------------------------------
+@register_rule
+class StaticShapeMismatch(Rule):
+    id = "RL013"
+    name = "static-shape-mismatch"
+    rationale = (
+        "The abstract interpreter runs every nn.Module's forward on "
+        "symbolic dimensions; a shape contract it can *disprove* "
+        "(matmul/spmm inner dims, concat/broadcast incompatibility, "
+        "reshape size change) is a crash the runtime forward is "
+        "guaranteed to hit on the same inputs."
+    )
+
+    def finish(self, project: ProjectContext) -> Iterable[Violation]:
+        linted = _linted_displays(project)
+        for outcome in _tensor_pass(project).outcomes:
+            err = outcome.shape_error
+            if err is None:
+                continue
+            loc = err.loc
+            if loc is None or loc[0] not in linted:
+                # Error surfaced inside a callee outside the linted set —
+                # anchor the finding on this class's forward instead.
+                forward = outcome.info.methods.get("forward")
+                line = forward.node.lineno if forward else outcome.info.node.lineno
+                loc = (outcome.info.ctx.display, line)
+            yield self.violation(
+                linted.get(loc[0], outcome.info.ctx.display),
+                loc[1],
+                f"symbolic forward of {outcome.info.qualname} cannot "
+                f"satisfy its shape contract: {err.message}",
+            )
+
+
+@register_rule
+class DtypeNarrowingInGradPath(Rule):
+    id = "RL014"
+    name = "dtype-narrowing-in-grad-path"
+    rationale = (
+        "The autograd substrate contract is float64 end to end (golden "
+        "digests are bitwise); a float32 narrowing (astype/asarray) "
+        "whose value later feeds a gradient-requiring op, or a raw "
+        "int/bool array silently coerced inside a tracked op, loses "
+        "precision the backward pass then amplifies. Widen deliberately "
+        "with Tensor(...)."
+    )
+
+    def finish(self, project: ProjectContext) -> Iterable[Violation]:
+        linted = _linted_displays(project)
+        seen = set()
+        for outcome in _tensor_pass(project).outcomes:
+            for event in outcome.narrowings:
+                display = linted.get(event.loc[0])
+                if display is None:
+                    continue  # narrowing originates outside the linted set
+                key = (display, event.loc[1], event.text)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.violation(display, event.loc[1], event.text)
+
+
+@register_rule
+class CostModelDivergence(Rule):
+    id = "RL015"
+    name = "cost-model-divergence"
+    rationale = (
+        "Every differentiable op must be priceable by the static cost "
+        "oracle (repro.autograd.signatures); an op with no declared "
+        "signature — called through repro.autograd or minted raw via "
+        "Tensor._make — silently drops out of the FLOP/byte accounting "
+        "that the profiler, bench gates, and CI cost checks rely on."
+    )
+
+    def visit(self, ctx: FileContext) -> Iterable[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "_make"
+            ):
+                continue
+            if len(node.args) < 4:
+                continue
+            op_arg = node.args[3]
+            if not (isinstance(op_arg, ast.Constant) and isinstance(op_arg.value, str)):
+                continue
+            op = op_arg.value
+            if op and not sig.has_signature(sig.canonical_op(op)):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"Tensor._make op {op!r} has no declared cost signature; "
+                    "declare it in repro.autograd.signatures (or record it "
+                    "explicitly) so the cost oracle can price it",
+                )
+
+    def finish(self, project: ProjectContext) -> Iterable[Violation]:
+        linted = _linted_displays(project)
+        seen = set()
+        for outcome in _tensor_pass(project).outcomes:
+            for event in outcome.unknown_ops:
+                display = linted.get(event.loc[0])
+                if display is None:
+                    continue
+                key = (display, event.loc[1], event.name)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.violation(
+                    display,
+                    event.loc[1],
+                    f"call to {event.name} which has no declared cost "
+                    "signature — the oracle cannot price it",
+                )

@@ -11,6 +11,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd.tensor import Tensor, as_tensor, _unbroadcast
+from repro.autograd import signatures as _signatures
+
+# Shape/dtype/cost contracts for the ops this module constructs live in
+# repro.autograd.signatures; fail at import if one is missing (RL015
+# guards the static side of the same table).
+_signatures.expect(
+    "add", "sub", "mul", "div", "neg", "pow", "exp", "log", "sqrt",
+    "clip", "abs", "maximum",
+)
 
 
 def add(a, b) -> Tensor:

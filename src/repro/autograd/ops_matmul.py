@@ -28,7 +28,10 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.autograd.tensor import Tensor, as_tensor
+from repro.autograd import signatures as _signatures
 from repro.obs import cost as _cost
+
+_signatures.expect("matmul", "spmm", "transpose")
 
 _REV_ATTR = "_repro_rev_csr"
 

@@ -13,6 +13,11 @@ from typing import Optional
 import numpy as np
 
 from repro.autograd.tensor import Tensor, as_tensor, is_grad_enabled
+from repro.autograd import signatures as _signatures
+
+_signatures.expect(
+    "relu", "leaky_relu", "sigmoid", "tanh", "softmax", "log_softmax", "dropout"
+)
 
 
 def relu(a) -> Tensor:

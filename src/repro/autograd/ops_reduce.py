@@ -13,6 +13,9 @@ from typing import Sequence, Union
 import numpy as np
 
 from repro.autograd.tensor import Tensor, as_tensor
+from repro.autograd import signatures as _signatures
+
+_signatures.expect("sum", "mean", "max", "l2_norm")
 
 _Axis = Union[None, int, Sequence[int]]
 

@@ -13,6 +13,9 @@ from typing import Sequence
 import numpy as np
 
 from repro.autograd.tensor import Tensor, as_tensor
+from repro.autograd import signatures as _signatures
+
+_signatures.expect("reshape", "getitem", "scatter_add", "concat", "stack")
 
 
 def reshape(a, *shape: int) -> Tensor:

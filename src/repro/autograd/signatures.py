@@ -1,0 +1,250 @@
+"""Per-op shape/dtype/cost signatures — one table, two consumers.
+
+Every autograd op name is declared here exactly once, with
+
+* its **cost kind** (which closed-form FLOP/byte formula applies),
+* whether it is **differentiable** (participates in the backward pass),
+* a one-line shape contract (documentation; the machine-checkable shape
+  rules live in the static interpreter, keyed by the same names).
+
+The two consumers are
+
+* :mod:`repro.obs.cost` — the *runtime* cost model.  Its collector
+  calls :func:`forward_flops` / :func:`backward_flops` /
+  :func:`forward_bytes` / :func:`backward_bytes` with real ndarrays.
+* :mod:`repro.analysis.shapes` — the *static* verifier.  The abstract
+  interpreter calls the same four functions with symbolic-shaped
+  operand views, so the static cost expressions are term-for-term
+  identical to the measured ones by construction (RL015 guards the
+  table's completeness; the cost-oracle test asserts exact numeric
+  equality against ``CostCollector`` measurements).
+
+The formulas are pure arithmetic over an operand protocol — ``.shape``,
+``.size``, ``.nbytes`` — satisfied by ``numpy.ndarray`` and by the
+interpreter's abstract arrays alike, so this module never imports
+numpy.  Each ``ops_*`` module closes the loop at import time with
+:func:`expect`, which fails fast if an op it constructs was never
+declared (or was declared under a different kind).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+#: Substrate element size: the repo's determinism contract is float64.
+FLOAT_BYTES = 8
+
+#: Per-stored-entry footprint of a CSR operand: 8-byte value + 4-byte
+#: column index (scipy's default index dtype).  ``indptr`` is O(rows)
+#: and excluded so the formula depends on ``nnz`` alone.
+SPARSE_ENTRY_BYTES = 12
+
+#: Ops that report their own cost at the op site (they need operand
+#: metadata — nnz, backend — the generic shape-based hook cannot see).
+EXPLICIT_OPS = frozenset({"spmm"})
+
+#: Cost kinds.  Forward/backward FLOPs per kind (``out`` the result,
+#: ``p`` a parent, grad-requiring parents only in backward):
+#:
+#: ==============  ======================  ============================
+#: kind            forward FLOPs           backward FLOPs
+#: ==============  ======================  ============================
+#: ``matmul``      ``2·m·k·n``             ``2·m·k·n`` per grad parent
+#: ``spmm``        ``2·nnz·d``             ``2·nnz·d`` (explicit site)
+#: ``elementwise`` ``out.size``            ``Σ p.size``
+#: ``reduce``      ``Σ p.size``            ``Σ p.size``
+#: ``softmax``     ``4·out.size``          ``3·out.size`` per grad parent
+#: ``zero``        ``0``                   ``0``
+#: ==============  ======================  ============================
+KINDS = ("matmul", "spmm", "elementwise", "reduce", "softmax", "zero")
+
+
+@dataclass(frozen=True)
+class OpSignature:
+    """Declared contract of one autograd op."""
+
+    name: str
+    kind: str
+    differentiable: bool
+    shape: str  # human-readable shape contract
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown cost kind {self.kind!r} for op {self.name!r}")
+
+
+SIGNATURES: Dict[str, OpSignature] = {}
+
+
+def declare(name: str, kind: str, shape: str, differentiable: bool = True) -> OpSignature:
+    """Register one op signature (import-time, idempotent re-declaration is an error)."""
+    if name in SIGNATURES:
+        raise ValueError(f"op {name!r} declared twice")
+    sig = OpSignature(name=name, kind=kind, differentiable=differentiable, shape=shape)
+    SIGNATURES[name] = sig
+    return sig
+
+
+def canonical_op(op: str) -> str:
+    """Map a runtime op name to its table key (``pow2.0`` → ``pow``)."""
+    if op.startswith("pow") and op != "pow":
+        return "pow"
+    return op
+
+
+def lookup(op: str) -> OpSignature:
+    """Signature for a runtime op name; raises ``KeyError`` when undeclared."""
+    return SIGNATURES[canonical_op(op)]
+
+
+def has_signature(op: str) -> bool:
+    return canonical_op(op) in SIGNATURES
+
+
+def expect(*names: str) -> None:
+    """Import-time check an ops module runs over the op names it constructs."""
+    missing = [n for n in names if not has_signature(n)]
+    if missing:
+        raise RuntimeError(
+            f"autograd ops missing a signature declaration: {missing}; "
+            "declare them in repro.autograd.signatures"
+        )
+
+
+# ----------------------------------------------------------------------
+# the table — grouped to mirror the ops_* modules
+# ----------------------------------------------------------------------
+# ops_basic
+declare("add", "elementwise", "broadcast(a, b)")
+declare("sub", "elementwise", "broadcast(a, b)")
+declare("mul", "elementwise", "broadcast(a, b)")
+declare("div", "elementwise", "broadcast(a, b)")
+declare("neg", "zero", "a")
+declare("pow", "elementwise", "a")  # runtime names are pow{exponent}
+declare("exp", "elementwise", "a")
+declare("log", "elementwise", "a")
+declare("sqrt", "elementwise", "a")
+declare("clip", "elementwise", "a")
+declare("abs", "elementwise", "a")
+declare("maximum", "elementwise", "broadcast(a, b)")
+
+# ops_matmul
+declare("matmul", "matmul", "(m, k) @ (k, n) -> (m, n)")
+declare("spmm", "spmm", "(r, c)[nnz] @ (c, d) -> (r, d)")
+declare("transpose", "zero", "(m, n) -> (n, m)")
+
+# ops_nn
+declare("relu", "elementwise", "a")
+declare("leaky_relu", "elementwise", "a")
+declare("sigmoid", "elementwise", "a")
+declare("tanh", "elementwise", "a")
+declare("softmax", "softmax", "a")
+declare("log_softmax", "softmax", "a")
+declare("dropout", "zero", "a")
+
+# ops_reduce
+declare("sum", "reduce", "reduce(a, axis, keepdims)")
+declare("mean", "reduce", "reduce(a, axis, keepdims)")
+declare("max", "reduce", "reduce(a, axis, keepdims)")
+declare("l2_norm", "elementwise", "a -> scalar")  # one-FLOP accounting unit
+
+# ops_shape
+declare("reshape", "zero", "a -> shape (size preserved)")
+declare("getitem", "zero", "a[idx] -> (len(idx),) + a.shape[1:]")
+declare("scatter_add", "elementwise", "(rows,) + src.shape[1:]")
+declare("concat", "zero", "concat along axis")
+declare("stack", "zero", "new leading axis")
+
+
+# ----------------------------------------------------------------------
+# cost formulas — shared verbatim by runtime collector and static oracle
+# ----------------------------------------------------------------------
+def matmul_flops(m, k, n):
+    """FLOPs of one ``(m, k) @ (k, n)`` dense product: ``2·m·k·n``."""
+    return 2 * m * k * n
+
+
+def spmm_flops(nnz, d):
+    """FLOPs of one ``S @ X`` sparse product: ``2·nnz·d`` (mul + add)."""
+    return 2 * nnz * d
+
+
+def spmm_bytes(nnz, dense_bytes, out_bytes):
+    """Bytes moved by one SpMM: sparse entries + dense read + out write."""
+    return SPARSE_ENTRY_BYTES * nnz + dense_bytes + out_bytes
+
+
+def forward_flops(op: str, out, parents: Sequence):
+    """Forward FLOPs of one generic (non-``spmm``) op from operand shapes."""
+    kind = lookup(op).kind
+    if kind == "matmul":
+        a, b = parents
+        return matmul_flops(a.shape[0], a.shape[1], b.shape[1])
+    if kind == "zero":
+        return 0
+    if kind == "reduce":
+        total = 0
+        for p in parents:
+            total = total + p.size
+        return total
+    if kind == "softmax":
+        return 4 * out.size
+    # Elementwise default (add, mul, relu, exp, …): one FLOP per output.
+    return out.size
+
+
+def backward_flops(op: str, out, parents: Sequence, grad_parents: Sequence):
+    """Backward FLOPs of one generic op (``grad_parents`` require grad)."""
+    kind = lookup(op).kind
+    if kind == "matmul":
+        a, b = parents
+        return matmul_flops(a.shape[0], a.shape[1], b.shape[1]) * len(grad_parents)
+    if kind == "zero":
+        return 0
+    if kind == "softmax":
+        return 3 * out.size * len(grad_parents)
+    # Reductions broadcast the gradient back over the input; elementwise
+    # ops do one multiply per input element.  Both are p.size per parent.
+    total = 0
+    for p in grad_parents:
+        total = total + p.size
+    return total
+
+
+def forward_bytes(out, parents: Sequence):
+    """Forward traffic: read every parent, write the output."""
+    total = out.nbytes
+    for p in parents:
+        total = total + p.nbytes
+    return total
+
+
+def backward_bytes(out, grad_parents: Sequence):
+    """Backward traffic: read the output gradient, write one gradient per parent."""
+    total = out.nbytes
+    for p in grad_parents:
+        total = total + p.nbytes
+    return total
+
+
+__all__ = [
+    "FLOAT_BYTES",
+    "SPARSE_ENTRY_BYTES",
+    "EXPLICIT_OPS",
+    "KINDS",
+    "OpSignature",
+    "SIGNATURES",
+    "declare",
+    "canonical_op",
+    "lookup",
+    "has_signature",
+    "expect",
+    "matmul_flops",
+    "spmm_flops",
+    "spmm_bytes",
+    "forward_flops",
+    "backward_flops",
+    "forward_bytes",
+    "backward_bytes",
+]

@@ -197,18 +197,32 @@ def check(
     tol: float = 0.15,
     min_base: float = 0.0,
     keys: Optional[str] = None,
+    list_keys: bool = False,
     out=None,
 ) -> int:
     """The ``check`` subcommand; returns the process exit code.
 
     ``0`` — every compared metric within tolerance; ``1`` — at least one
     regression; ``2`` — nothing comparable (missing files, no matching
-    history entry, or zero shared directional metrics).
+    history entry, or zero shared directional metrics — including the
+    case where every matched baseline key carries an *unknown direction
+    suffix*, which gets its own message instead of a bare count).
+
+    ``list_keys`` prints the baseline's flattened metric keys with their
+    resolved direction (or ``context`` for non-directional keys) and
+    exits 0 without comparing anything.
     """
     out = out if out is not None else sys.stdout
     with open(baseline_path, "r", encoding="utf-8") as f:
         baseline = json.load(f)
     name = bench or bench_name_from_path(baseline_path)
+
+    if list_keys:
+        base_flat = flatten_metrics(baseline)
+        for key in sorted(base_flat):
+            print(f"{key}  [{metric_direction(key) or 'context'}]", file=out)
+        print(f"{len(base_flat)} metric key(s) in {baseline_path}", file=out)
+        return 0
 
     if current_path is not None:
         with open(current_path, "r", encoding="utf-8") as f:
@@ -229,11 +243,27 @@ def check(
         baseline, current, tol=tol, min_base=min_base, keys=keys
     )
     if compared == 0:
-        print(
-            f"bench check: no comparable metrics between {baseline_path} "
-            f"and {source}",
-            file=out,
-        )
+        base_flat = flatten_metrics(baseline)
+        cur_flat = flatten_metrics(current)
+        shared = [
+            k
+            for k in sorted(base_flat)
+            if k in cur_flat and (keys is None or fnmatch.fnmatch(k, keys))
+        ]
+        if shared and not any(metric_direction(k) for k in shared):
+            suffixes = ", ".join(f"'{s}'" for s, _ in _DIRECTIONS)
+            print(
+                f"bench check: {len(shared)} matched key(s) but none carry a "
+                f"known direction suffix (known: {suffixes}); "
+                "run with --list-keys to see how each baseline key resolves",
+                file=out,
+            )
+        else:
+            print(
+                f"bench check: no comparable metrics between {baseline_path} "
+                f"and {source}",
+                file=out,
+            )
         return 2
     for r in regressions:
         arrow = "slower" if r["direction"] == "lower" else "lost speedup"
@@ -282,6 +312,12 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument(
         "--keys", default=None, help="glob over dotted metric paths (e.g. '*ratio')"
     )
+    c.add_argument(
+        "--list-keys",
+        action="store_true",
+        help="print the baseline's flattened metric keys with their "
+        "direction (lower/higher/context) and exit",
+    )
 
     a = sub.add_parser("append", help="append a BENCH_*.json snapshot to the history")
     a.add_argument("--file", required=True, help="BENCH_*.json snapshot to append")
@@ -307,6 +343,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             tol=args.tol,
             min_base=args.min_base,
             keys=args.keys,
+            list_keys=args.list_keys,
         )
     if args.command == "append":
         with open(args.file, "r", encoding="utf-8") as f:

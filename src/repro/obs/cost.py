@@ -10,7 +10,11 @@ the op sequence and shapes, never sampled), so tests assert them against
 hand-computed values and a profiled run on machine A is comparable to
 one on machine B.
 
-Cost formulas (``d``-column dense operands, ``nnz``-entry sparse):
+Cost formulas (``d``-column dense operands, ``nnz``-entry sparse) are
+declared once per op in :mod:`repro.autograd.signatures` — shared with
+the static verifier in :mod:`repro.analysis.shapes`, which re-derives
+them symbolically and cross-checks the evaluation (RL015, and the
+cost-oracle test in ``tests/analysis/test_shapes.py``):
 
 =================  ==========================  ===========================
 op                 forward FLOPs               backward FLOPs (per parent
@@ -52,71 +56,16 @@ import contextlib
 import threading
 from typing import Callable, Dict, Optional, Tuple
 
+from repro.autograd import signatures as _sig
+from repro.autograd.signatures import (  # re-exported: the shared source of truth
+    EXPLICIT_OPS,
+    SPARSE_ENTRY_BYTES,
+    matmul_flops,
+    spmm_flops,
+    spmm_bytes,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
-
-_FLOAT_BYTES = 8  # float64 substrate
-#: Per-stored-entry footprint of a CSR operand: 8-byte value + 4-byte
-#: column index (scipy's default index dtype).  ``indptr`` is O(rows)
-#: and excluded so the formula depends on ``nnz`` alone.
-SPARSE_ENTRY_BYTES = 12
-
-#: Ops that report their own cost at the op site (they need operand
-#: metadata — nnz, backend — the generic shape-based hook cannot see).
-EXPLICIT_OPS = frozenset({"spmm"})
-
-#: Pure data-movement ops: zero FLOPs in both directions.
-_ZERO_FLOP_OPS = frozenset(
-    {"reshape", "transpose", "getitem", "concat", "stack", "neg", "dropout"}
-)
-
-#: Reductions: forward cost is the *input* size (the elements consumed).
-_REDUCE_OPS = frozenset({"sum", "mean", "max"})
-
-#: Softmax family: max-subtract, exp, sum, divide → 4 passes forward;
-#: backward is the three-pass Jacobian-vector product.
-_SOFTMAX_OPS = frozenset({"softmax", "log_softmax"})
-
-
-def matmul_flops(m: int, k: int, n: int) -> int:
-    """FLOPs of one ``(m, k) @ (k, n)`` dense product: ``2·m·k·n``."""
-    return 2 * m * k * n
-
-
-def spmm_flops(nnz: int, d: int) -> int:
-    """FLOPs of one ``S @ X`` sparse product: ``2·nnz·d`` (mul + add)."""
-    return 2 * nnz * d
-
-
-def spmm_bytes(nnz: int, dense_bytes: int, out_bytes: int) -> int:
-    """Bytes moved by one SpMM: sparse entries + dense read + out write."""
-    return SPARSE_ENTRY_BYTES * nnz + dense_bytes + out_bytes
-
-
-def _forward_flops(op: str, out_data, parent_datas: Tuple) -> int:
-    if op == "matmul":
-        a, b = parent_datas
-        return matmul_flops(a.shape[0], a.shape[1], b.shape[1])
-    if op in _ZERO_FLOP_OPS:
-        return 0
-    if op in _REDUCE_OPS:
-        return sum(int(p.size) for p in parent_datas)
-    if op in _SOFTMAX_OPS:
-        return 4 * int(out_data.size)
-    # Elementwise default (add, mul, relu, exp, …): one FLOP per output.
-    return int(out_data.size)
-
-
-def _backward_flops(op: str, out_data, grad_parents: Tuple) -> int:
-    # ``matmul`` is handled by the caller (it needs both parents' shapes,
-    # not just the grad-requiring ones).
-    if op in _ZERO_FLOP_OPS:
-        return 0
-    if op in _SOFTMAX_OPS:
-        return 3 * int(out_data.size) * len(grad_parents)
-    # Reductions broadcast the gradient back over the input; elementwise
-    # ops do one multiply per input element.  Both are p.size per parent.
-    return sum(int(p.data.size) for p in grad_parents)
 
 
 class CostCollector:
@@ -193,8 +142,8 @@ class CostCollector:
         if op in EXPLICIT_OPS or not op:
             return
         parent_datas = tuple(p.data for p in parents)
-        flops = _forward_flops(op, out_data, parent_datas)
-        moved = int(out_data.nbytes) + sum(int(p.nbytes) for p in parent_datas)
+        flops = _sig.forward_flops(op, out_data, parent_datas)
+        moved = _sig.forward_bytes(out_data, parent_datas)
         self.record(op, "fwd", flops, moved)
 
     def backward_op(self, node) -> None:
@@ -202,16 +151,12 @@ class CostCollector:
         op = node._op
         if op in EXPLICIT_OPS or not op:
             return
-        grad_parents = tuple(p for p in node._parents if p.requires_grad)
-        if not grad_parents:
+        grad_datas = tuple(p.data for p in node._parents if p.requires_grad)
+        if not grad_datas:
             return
-        if op == "matmul":
-            a, b = node._parents
-            flops = matmul_flops(a.data.shape[0], a.data.shape[1], b.data.shape[1])
-            flops *= len(grad_parents)
-        else:
-            flops = _backward_flops(op, node.data, grad_parents)
-        moved = int(node.data.nbytes) + sum(int(p.data.nbytes) for p in grad_parents)
+        parent_datas = tuple(p.data for p in node._parents)
+        flops = _sig.backward_flops(op, node.data, parent_datas, grad_datas)
+        moved = _sig.backward_bytes(node.data, grad_datas)
         self.record(op, "bwd", flops, moved)
 
     def spmm_op(self, direction: str, nnz: int, dense, out, backend: str) -> None:

@@ -1,0 +1,23 @@
+"""RL013 fixture: a forward whose matmul inner dims provably mismatch."""
+from repro import nn
+from repro.autograd import matmul
+
+
+class BadShapes(nn.Module):
+    def __init__(self, in_features, num_classes, rng):
+        super().__init__()
+        self.lin = nn.Linear(in_features, num_classes, rng=rng)
+
+    def forward(self, x):
+        # weight is (in_features, num_classes); transposing flips the
+        # contraction dim, so x @ weight.T cannot contract.
+        return matmul(x, self.lin.weight.T)  # VIOLATION RL013
+
+
+class BadShapesSuppressed(nn.Module):
+    def __init__(self, in_features, num_classes, rng):
+        super().__init__()
+        self.lin = nn.Linear(in_features, num_classes, rng=rng)
+
+    def forward(self, x):
+        return matmul(x, self.lin.weight.T)  # repro-lint: disable=RL013

@@ -1,0 +1,36 @@
+"""RL014 fixture: float32 narrowing and raw-int coercion in grad paths."""
+import numpy as np
+
+from repro import nn
+from repro.autograd import Tensor
+
+
+class Narrowed(nn.Module):
+    def __init__(self, in_features, num_classes, rng):
+        super().__init__()
+        self.lin = nn.Linear(in_features, num_classes, rng=rng)
+
+    def forward(self, x):
+        squeezed = np.asarray(x.data, dtype=np.float32)  # VIOLATION RL014
+        # Re-wrapping widens the storage but the precision is gone; the
+        # narrowed value then feeds the grad-requiring Linear matmul.
+        return self.lin(Tensor(squeezed))
+
+class IntScaled(nn.Module):
+    def __init__(self, in_features, num_classes, rng):
+        super().__init__()
+        self.lin = nn.Linear(in_features, num_classes, rng=rng)
+
+    def forward(self, x):
+        counts = np.arange(1)
+        return self.lin(x) * counts  # VIOLATION RL014 (raw int64 into tracked op)
+
+
+class NarrowedSuppressed(nn.Module):
+    def __init__(self, in_features, num_classes, rng):
+        super().__init__()
+        self.lin = nn.Linear(in_features, num_classes, rng=rng)
+
+    def forward(self, x):
+        squeezed = np.asarray(x.data, dtype=np.float32)  # repro-lint: disable=RL014
+        return self.lin(Tensor(squeezed))

@@ -1,0 +1,34 @@
+"""RL015 fixture: ops the cost oracle cannot price."""
+import numpy as np
+
+from repro import nn
+from repro.autograd import Tensor, mystery_op  # signature never declared
+
+
+class Unpriced(nn.Module):
+    def __init__(self, in_features, num_classes, rng):
+        super().__init__()
+        self.lin = nn.Linear(in_features, num_classes, rng=rng)
+
+    def forward(self, x):
+        return mystery_op(self.lin(x))  # VIOLATION RL015
+
+
+def mint_raw_node(a):
+    out = np.tanh(a.data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(grad * (1.0 - out * out))
+
+    return Tensor._make(out, (a,), backward, "mystery_tanh")  # VIOLATION RL015
+
+
+def mint_raw_node_suppressed(a):
+    out = np.tanh(a.data)
+
+    def backward(grad):
+        if a.requires_grad:
+            a._accumulate(grad * (1.0 - out * out))
+
+    return Tensor._make(out, (a,), backward, "mystery_tanh")  # repro-lint: disable=RL015

@@ -80,7 +80,7 @@ class TestSuppressions:
 # engine mechanics
 # ----------------------------------------------------------------------
 class TestEngine:
-    def test_all_twelve_rules_registered(self):
+    def test_all_fifteen_rules_registered(self):
         assert all_rule_ids() == [
             "RL001",
             "RL002",
@@ -94,6 +94,9 @@ class TestEngine:
             "RL010",
             "RL011",
             "RL012",
+            "RL013",
+            "RL014",
+            "RL015",
         ]
         for rid, cls in RULE_REGISTRY.items():
             assert cls.id == rid and cls.name and cls.rationale
@@ -197,3 +200,62 @@ class TestCLI:
         out = capsys.readouterr().out
         for rid in all_rule_ids():
             assert rid in out
+
+
+class TestChangedSince:
+    """The incremental (--changed-since) PR-leg mode."""
+
+    VIOLATING = "import numpy as np\n\ndef bad():\n    return np.random.rand(3)\n"
+
+    @staticmethod
+    def _git(repo, *args):
+        import subprocess
+
+        subprocess.run(
+            ["git", "-c", "user.name=t", "-c", "user.email=t@t", *args],
+            cwd=str(repo),
+            check=True,
+            capture_output=True,
+        )
+
+    @pytest.fixture()
+    def repo(self, tmp_path):
+        (tmp_path / "old.py").write_text(self.VIOLATING)
+        self._git(tmp_path, "init", "-q")
+        self._git(tmp_path, "add", "old.py")
+        self._git(tmp_path, "commit", "-qm", "seed")
+        (tmp_path / "new.py").write_text(self.VIOLATING)  # untracked
+        return tmp_path
+
+    def test_only_changed_files_reported(self, repo, capsys):
+        code = cli_main(
+            [str(repo), "--rule", "RL001", "--changed-since", "HEAD",
+             "--root", str(repo)]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "new.py" in out
+        assert "old.py" not in out
+
+    def test_full_run_still_sees_unchanged_files(self, repo, capsys):
+        code = cli_main([str(repo), "--rule", "RL001", "--root", str(repo)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "new.py" in out and "old.py" in out
+
+    def test_clean_when_all_findings_are_old(self, repo, capsys):
+        (repo / "new.py").unlink()
+        code = cli_main(
+            [str(repo), "--rule", "RL001", "--changed-since", "HEAD",
+             "--root", str(repo)]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+    def test_bad_rev_is_a_usage_error(self, repo, capsys):
+        code = cli_main(
+            [str(repo), "--rule", "RL001", "--changed-since", "no-such-rev",
+             "--root", str(repo)]
+        )
+        assert code == 2
+        capsys.readouterr()

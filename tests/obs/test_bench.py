@@ -168,3 +168,47 @@ class TestCheckAndCli:
         out = capsys.readouterr().out
         assert "REGRESSION step_s" in out
         assert "FAIL" in out
+
+    def test_unknown_direction_suffix_exits_two_with_message(self, tmp_path, capsys):
+        # Every baseline key uses a suffix the gate has no direction for:
+        # the check must explain itself and exit 2, not blow up.
+        baseline = tmp_path / "BENCH_odd.json"
+        baseline.write_text(json.dumps({"step_qps": 100.0, "warm_ms": 3.0}))
+        current = tmp_path / "cur.json"
+        current.write_text(json.dumps({"step_qps": 90.0, "warm_ms": 4.0}))
+        rc = main(
+            ["check", "--baseline", str(baseline), "--current", str(current)]
+        )
+        out = capsys.readouterr().out
+        assert rc == 2
+        assert "direction suffix" in out
+        assert "--list-keys" in out
+
+    def test_keys_glob_onto_nondirectional_keys_exits_two(
+        self, baseline, tmp_path, capsys
+    ):
+        baseline_path = tmp_path / "BENCH_mix.json"
+        baseline_path.write_text(json.dumps({"step_s": 1.0, "nodes": 64}))
+        current = tmp_path / "cur.json"
+        current.write_text(json.dumps({"step_s": 1.0, "nodes": 64}))
+        rc = main(
+            [
+                "check",
+                "--baseline",
+                str(baseline_path),
+                "--current",
+                str(current),
+                "--keys",
+                "nodes",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 2
+        assert "direction suffix" in out
+
+    def test_list_keys_prints_directions(self, baseline, capsys):
+        assert main(["check", "--baseline", baseline, "--list-keys"]) == 0
+        out = capsys.readouterr().out
+        assert "step_s  [lower]" in out
+        assert "speedup  [higher]" in out
+        assert "2 metric key(s)" in out
